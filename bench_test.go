@@ -1,0 +1,175 @@
+package bolt_test
+
+// Benchmark harness: one testing.B benchmark per table and figure in
+// the paper's evaluation (§4). Each benchmark regenerates its
+// experiment through the full pipeline (tuning + pricing on the device
+// model) and reports the key scalar as a custom metric so `go test
+// -bench` output can be compared against the paper directly:
+//
+//	go test -bench=. -benchmem
+//
+// The quick suite is used so a full sweep completes in seconds; run
+// cmd/boltbench for the paper-fidelity trial budgets.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bolt/internal/bench"
+	"bolt/internal/gpu"
+)
+
+// suite is shared across benchmarks (experiments are deterministic).
+var suite = bench.NewQuickSuite(gpu.T4())
+
+// reportColumn extracts a numeric column average and reports it as a
+// benchmark metric.
+func reportColumn(b *testing.B, t *bench.Table, col, metric string) {
+	b.Helper()
+	idx := -1
+	for i, c := range t.Columns {
+		if c == col {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		b.Fatalf("%s: no column %q", t.ID, col)
+	}
+	sum, n := 0.0, 0
+	for _, r := range t.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(r[idx], "%"), 64)
+		if err == nil {
+			sum += v
+			n++
+		}
+	}
+	if n > 0 {
+		b.ReportMetric(sum/float64(n), metric)
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (Ansor vs cuBLAS FP16 GEMM).
+// Paper shape: Ansor reaches <20% of cuBLAS.
+func BenchmarkFigure1(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Figure1()
+	}
+	reportColumn(b, t, "Ansor", "ansor/cublas")
+}
+
+// BenchmarkFigure8a regenerates Figure 8a (GEMM, Bolt vs Ansor).
+// Paper shape: 6.1-9.5x compute-bound, 1.9x memory-bound.
+func BenchmarkFigure8a(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Figure8a()
+	}
+	reportColumn(b, t, "Bolt", "x-vs-ansor")
+}
+
+// BenchmarkFigure8b regenerates Figure 8b (Conv2D, Bolt vs Ansor).
+// Paper shape: 2.7-3.5x.
+func BenchmarkFigure8b(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Figure8b()
+	}
+	reportColumn(b, t, "Bolt", "x-vs-ansor")
+}
+
+// BenchmarkFigure9a regenerates Figure 9a (GEMM epilogue fusion).
+// Paper shape: 1.45x average.
+func BenchmarkFigure9a(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Figure9a()
+	}
+	reportColumn(b, t, "Bolt w/ fusion", "x-fusion")
+}
+
+// BenchmarkFigure9b regenerates Figure 9b (Conv2D epilogue fusion).
+// Paper shape: 1.38x average.
+func BenchmarkFigure9b(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Figure9b()
+	}
+	reportColumn(b, t, "Bolt w/ fusion", "x-fusion")
+}
+
+// BenchmarkTable1 regenerates Table 1 (persistent GEMM fusion).
+// Paper shape: 1.24-1.46x.
+func BenchmarkTable1(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Table1()
+	}
+	reportColumn(b, t, "w/ fuse", "x-fusion")
+}
+
+// BenchmarkTable2 regenerates Table 2 (persistent Conv fusion).
+// Paper shape: 1.10-2.02x.
+func BenchmarkTable2(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Table2()
+	}
+	reportColumn(b, t, "w/ fuse", "x-fusion")
+}
+
+// BenchmarkTable3 regenerates Table 3 (kernel padding).
+// Paper shape: ~1.8x speedup at 9-24% pad cost.
+func BenchmarkTable3(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Table3()
+	}
+	reportColumn(b, t, "padded", "x-padding")
+}
+
+// BenchmarkFigure10a regenerates Figure 10a (end-to-end inference).
+// Paper shape: 2.8x average speedup.
+func BenchmarkFigure10a(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Figure10a()
+	}
+	reportColumn(b, t, "speedup", "x-vs-ansor")
+}
+
+// BenchmarkFigure10b regenerates Figure 10b (tuning time).
+// Paper shape: Bolt < 20 min/model, Ansor ~12 h average.
+func BenchmarkFigure10b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = suite.Figure10b()
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4 (activation codesign).
+func BenchmarkTable4(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Table4()
+	}
+	reportColumn(b, t, "speed (img/s)", "img/s")
+}
+
+// BenchmarkTable5 regenerates Table 5 (1x1 deepening codesign).
+func BenchmarkTable5(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Table5()
+	}
+	reportColumn(b, t, "speed (img/s)", "img/s")
+}
+
+// BenchmarkTable6 regenerates Table 6 (combined codesign).
+func BenchmarkTable6(b *testing.B) {
+	var t *bench.Table
+	for i := 0; i < b.N; i++ {
+		t = suite.Table6()
+	}
+	reportColumn(b, t, "speed (img/s)", "img/s")
+}

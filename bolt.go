@@ -1,0 +1,183 @@
+// Package bolt is the public API of the Bolt reproduction: an
+// end-to-end tensor-program optimizer that bridges auto-tuning
+// flexibility and hardware-native templated-library performance
+// (Xing, Wang, Zhang, Chen, Chen, Zhu — "Bolt: Bridging the Gap
+// between Auto-tuners and Hardware-native Performance", MLSys 2022).
+//
+// The typical flow mirrors the paper's Figure 3:
+//
+//	g := bolt.NewBuilder()            // author or import a model graph
+//	... build graph ...
+//	dev := bolt.T4()                  // pick a device model
+//	mod, err := bolt.Compile(graph, dev, bolt.Options{})
+//	out := mod.Run(inputs)            // functional execution
+//	imgs := mod.Throughput(batch)     // modeled performance
+//
+// Compile runs graph-level optimization (BatchNorm folding, epilogue
+// fusion, layout transformation, kernel padding, persistent kernel
+// fusion), BYOC partitioning, hardware-native profiling of every
+// templated kernel, and code generation. Set Options.Baseline to
+// compile through the opaque Ansor-style auto-tuner instead, for
+// comparisons.
+package bolt
+
+import (
+	"time"
+
+	"bolt/internal/ansor"
+	"bolt/internal/codegen"
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/profiler"
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+	"bolt/internal/tensor"
+)
+
+// Re-exported core types. The implementation lives in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Device is a GPU performance model (the simulated hardware).
+	Device = gpu.Device
+	// Graph is a relay dataflow graph.
+	Graph = relay.Graph
+	// Builder constructs graphs with shape inference.
+	Builder = relay.Builder
+	// Node is one operator in a graph.
+	Node = relay.Node
+	// Module is a compiled, runnable, priceable model.
+	Module = rt.Module
+	// Tensor is a dense n-dimensional array.
+	Tensor = tensor.Tensor
+	// Activation enumerates epilogue nonlinearities.
+	Activation = cutlass.Activation
+	// ConvShape describes a convolution problem.
+	ConvShape = cutlass.ConvShape
+	// GemmConfig is a CUTLASS-style template parameterization.
+	GemmConfig = cutlass.GemmConfig
+)
+
+// Activation values.
+const (
+	ReLU      = cutlass.ActReLU
+	GELU      = cutlass.ActGELU
+	Hardswish = cutlass.ActHardswish
+	Softplus  = cutlass.ActSoftplus
+	Sigmoid   = cutlass.ActSigmoid
+	Identity  = cutlass.ActIdentity
+)
+
+// Data types.
+const (
+	FP16 = tensor.FP16
+	FP32 = tensor.FP32
+)
+
+// T4 returns the paper's evaluation device: an NVIDIA Tesla T4 model.
+func T4() *Device { return gpu.T4() }
+
+// A100 returns an NVIDIA A100 model (sm_80).
+func A100() *Device { return gpu.A100() }
+
+// NewBuilder returns an empty graph builder.
+func NewBuilder() *Builder { return relay.NewBuilder() }
+
+// NewTensor allocates a zero tensor.
+func NewTensor(dt tensor.DType, shape ...int) *Tensor { return tensor.New(dt, shape...) }
+
+// Options configures Compile.
+type Options struct {
+	// Baseline compiles with the opaque Ansor-style auto-tuner instead
+	// of Bolt's templated search (for comparison experiments).
+	Baseline bool
+	// BaselineTrials is the per-task measurement budget for the
+	// baseline tuner (default 900, the TVM-recommended setting).
+	BaselineTrials int
+	// EmitSource attaches generated CUDA-like CUTLASS instantiations to
+	// each Bolt kernel (inspect with Module.Sources).
+	EmitSource bool
+	// Seed controls baseline search randomness.
+	Seed int64
+}
+
+// CompileResult bundles the module with tuning metadata.
+type CompileResult struct {
+	Module *Module
+	// TuningTime is the simulated wall-clock cost of auto-tuning
+	// (profiling for Bolt; search for the baseline).
+	TuningTime time.Duration
+}
+
+// Compile optimizes and compiles a graph for the device.
+func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
+	var clock gpu.Clock
+	if opts.Baseline {
+		relay.FoldBatchNorm(g)
+		relay.FuseEpilogue(g)
+		trials := opts.BaselineTrials
+		if trials == 0 {
+			trials = 900
+		}
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		m, err := codegen.Compile(g, dev, codegen.Options{
+			Tuner:       codegen.TunerAnsor,
+			AnsorTuner:  ansor.NewTuner(dev, &clock, seed),
+			AnsorTrials: trials,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &CompileResult{Module: m, TuningTime: clock.ElapsedDuration()}, nil
+	}
+
+	if err := relay.Optimize(g, dev); err != nil {
+		return nil, err
+	}
+	p := profiler.New(dev, &clock)
+	m, err := codegen.Compile(g, dev, codegen.Options{
+		Tuner:      codegen.TunerBolt,
+		Profiler:   p,
+		EmitSource: opts.EmitSource,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Charge the final module build (instantiating and compiling each
+	// selected template into the runtime file).
+	kernels := 0
+	for i := range m.Kernels {
+		if m.Kernels[i].Launches > 0 && m.Kernels[i].Node.IsAnchor() {
+			kernels++
+		}
+	}
+	clock.Advance(30 + 8*float64(kernels))
+	return &CompileResult{Module: m, TuningTime: clock.ElapsedDuration()}, nil
+}
+
+// ProfileGemm searches the templated-kernel parameter space for one
+// GEMM workload and returns the best configuration with its modeled
+// time in seconds — the light-weight profiler of paper §3.2.2 as a
+// standalone tool.
+func ProfileGemm(dev *Device, m, n, k int) (GemmConfig, float64, error) {
+	p := profiler.New(dev, nil)
+	p.Measure.NoiseStdDev = 0
+	res, err := p.ProfileGemm(profiler.GemmWorkload{M: m, N: n, K: k, DType: tensor.FP16})
+	if err != nil {
+		return GemmConfig{}, 0, err
+	}
+	return res.Config, res.Time, nil
+}
+
+// ProfileConv is the convolution counterpart of ProfileGemm.
+func ProfileConv(dev *Device, s ConvShape) (GemmConfig, float64, error) {
+	p := profiler.New(dev, nil)
+	p.Measure.NoiseStdDev = 0
+	res, err := p.ProfileConv(s)
+	if err != nil {
+		return GemmConfig{}, 0, err
+	}
+	return res.Config, res.Time, nil
+}

@@ -1,0 +1,77 @@
+// Command boltbench regenerates every table and figure in the Bolt
+// paper's evaluation section on the simulated device.
+//
+// Usage:
+//
+//	boltbench                 # all experiments at paper trial budgets
+//	boltbench -quick          # reduced tuning budgets (seconds)
+//	boltbench -exp fig8a      # one experiment
+//	boltbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bolt/internal/bench"
+	"bolt/internal/gpu"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced tuning budgets (fast)")
+	exp := flag.String("exp", "", "run a single experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids")
+	ablations := flag.Bool("ablations", false, "run the ablation/extension experiments instead")
+	device := flag.String("device", "t4", "device model: t4 or a100")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.IDs(), "\n"))
+		fmt.Println(strings.Join(bench.AblationIDs(), "\n"))
+		return
+	}
+
+	var dev *gpu.Device
+	switch *device {
+	case "t4":
+		dev = gpu.T4()
+	case "a100":
+		dev = gpu.A100()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	s := bench.NewSuite(dev)
+	if *quick {
+		s = bench.NewQuickSuite(dev)
+	}
+	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
+
+	regen := func(id string) func() *bench.Table {
+		if f := s.ByID(id); f != nil {
+			return f
+		}
+		return s.AblationByID(id)
+	}
+	ids := bench.IDs()
+	if *ablations {
+		ids = bench.AblationIDs()
+	}
+	if *exp != "" {
+		if regen(*exp) == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		table := regen(id)()
+		fmt.Println(table.Render())
+		fmt.Printf("  [regenerated in %v]\n\n", time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,85 @@
+// Command boltprof runs Bolt's light-weight profiler on a single GEMM
+// or Conv2D workload and dumps the ranked candidate table — the
+// paper's §3.2.2 search made visible.
+//
+// Usage:
+//
+//	boltprof -gemm 1280,3072,768
+//	boltprof -conv 32,56,56,64,64,3,1,1     # N,H,W,IC,OC,kernel,stride,pad
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/profiler"
+	"bolt/internal/tensor"
+)
+
+func parseInts(s string, n int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("want %d comma-separated ints, got %q", n, s)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func main() {
+	gemm := flag.String("gemm", "", "GEMM workload M,N,K")
+	conv := flag.String("conv", "", "Conv workload N,H,W,IC,OC,kernel,stride,pad")
+	top := flag.Int("top", 10, "show the top-k candidates")
+	flag.Parse()
+
+	dev := gpu.T4()
+	p := profiler.New(dev, nil)
+	p.Measure.NoiseStdDev = 0
+
+	switch {
+	case *gemm != "":
+		dims, err := parseInts(*gemm, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		w := profiler.GemmWorkload{M: dims[0], N: dims[1], K: dims[2], DType: tensor.FP16}
+		configs, times := p.RankGemm(w)
+		fmt.Printf("workload %s on %s: %d candidates (hardware-native templated search)\n\n", w, dev.Name, len(configs))
+		for i := 0; i < len(configs) && i < *top; i++ {
+			flops := 2 * float64(dims[0]) * float64(dims[1]) * float64(dims[2])
+			fmt.Printf("%2d. %-55s %8.1f us  %6.1f TFLOPS\n", i+1, configs[i].Name(), times[i]*1e6, flops/times[i]/1e12)
+		}
+	case *conv != "":
+		dims, err := parseInts(*conv, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		shape := cutlass.ConvShape{N: dims[0], H: dims[1], W: dims[2], IC: dims[3], OC: dims[4],
+			KH: dims[5], KW: dims[5], StrideH: dims[6], StrideW: dims[6], PadH: dims[7], PadW: dims[7]}
+		res, err := p.ProfileConv(shape)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("workload %v on %s\n", shape, dev.Name)
+		fmt.Printf("best: %s\n", res.Config.Name())
+		fmt.Printf("time: %.1f us (%.1f TFLOPS), %d candidates profiled\n",
+			res.Time*1e6, shape.FLOPs()/res.Time/1e12, res.Candidates)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

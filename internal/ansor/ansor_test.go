@@ -1,0 +1,166 @@
+package ansor
+
+import (
+	"testing"
+
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+func TestScheduleDerived(t *testing.T) {
+	s := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 4, Unroll: 64}
+	if s.Threads() != 64 {
+		t.Errorf("threads = %d, want 64", s.Threads())
+	}
+	if s.RegsPerThread() != 64+32+24 {
+		t.Errorf("regs = %d", s.RegsPerThread())
+	}
+	if s.SharedMemBytes(tensor.FP16) != 2*(64+64)*16*2 {
+		t.Errorf("smem = %d", s.SharedMemBytes(tensor.FP16))
+	}
+}
+
+func TestScheduleValidity(t *testing.T) {
+	d := gpu.T4()
+	good := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 4, ThreadN: 4, Vec: 4, Unroll: 64}
+	if !good.Valid(d, tensor.FP16) {
+		t.Error("good schedule rejected")
+	}
+	cases := []Schedule{
+		{TileM: 64, TileN: 64, TileK: 16, ThreadM: 3, ThreadN: 4, Vec: 4},   // no divide
+		{TileM: 16, TileN: 16, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 4},   // 4 threads < 1 warp
+		{TileM: 256, TileN: 256, TileK: 16, ThreadM: 1, ThreadN: 1, Vec: 4}, // 64k threads
+		{TileM: 256, TileN: 256, TileK: 64, ThreadM: 8, ThreadN: 8, Vec: 4}, // smem blowout
+		{TileM: 64, TileN: 64, TileK: 16, ThreadM: 4, ThreadN: 4, Vec: 3},   // bad vec
+		{TileM: 64, TileN: 64, TileK: 16, ThreadM: 16, ThreadN: 16, Vec: 4}, // register blowout
+	}
+	for i, s := range cases {
+		if s.Valid(d, tensor.FP16) {
+			t.Errorf("case %d: invalid schedule accepted: %v", i, s)
+		}
+	}
+}
+
+func TestIssueEffOrdering(t *testing.T) {
+	big := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 8, Unroll: 64}
+	small := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 2, ThreadN: 2, Vec: 1, Unroll: 0}
+	if big.issueEff() <= small.issueEff() {
+		t.Error("register-blocked vectorized schedule must have higher issue efficiency")
+	}
+	if e := big.issueEff(); e > 0.65 {
+		t.Errorf("SIMT issue ceiling too high: %f (tensor-core gap would vanish)", e)
+	}
+}
+
+func TestGemmDescIsSIMT(t *testing.T) {
+	d := gpu.T4()
+	s := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 8, Unroll: 64}
+	desc := s.GemmDesc(d, 1024, 1024, 1024, tensor.FP16)
+	if desc.OpClass != gpu.OpClassSIMT {
+		t.Fatal("Ansor schedules must be SIMT (no tensor cores in the space)")
+	}
+	if desc.FLOPs != 2*1024*1024*1024 {
+		t.Error("FLOPs wrong")
+	}
+}
+
+func TestSpaceSizeIsLarge(t *testing.T) {
+	// The opaque search space must dwarf the profiler's tens of
+	// candidates — that asymmetry is the tuning-time story.
+	if SpaceSize() < 10000 {
+		t.Errorf("schedule space %d too small to justify learned search", SpaceSize())
+	}
+}
+
+func TestTunerFindsGoodSchedule(t *testing.T) {
+	d := gpu.T4()
+	var clock gpu.Clock
+	tuner := NewTuner(d, &clock, 1)
+	res := tuner.TuneGemm(1024, 1024, 1024, 128, tensor.FP16)
+	if res.Trials != 128 {
+		t.Errorf("trials = %d, want 128", res.Trials)
+	}
+	if !res.Schedule.Valid(d, tensor.FP16) {
+		t.Error("best schedule invalid")
+	}
+	// The tuner should find something within 2x of the space's best
+	// (exhaustively checking a fine subsample).
+	bestKnown := exhaustiveBest(d, 1024, 1024, 1024)
+	if res.Time > 2*bestKnown {
+		t.Errorf("tuned time %.3g vs best known %.3g: search not converging", res.Time, bestKnown)
+	}
+	if clock.Elapsed() < float64(res.Trials)*tuner.CompilePerTrial {
+		t.Error("tuning clock must charge at least compile time per trial")
+	}
+}
+
+func exhaustiveBest(d *gpu.Device, m, n, k int) float64 {
+	best := -1.0
+	for _, tm := range tileOpts {
+		for _, tn := range tileOpts {
+			for _, thm := range threadOpts {
+				for _, thn := range threadOpts {
+					s := Schedule{TileM: tm, TileN: tn, TileK: 32, ThreadM: thm, ThreadN: thn, Vec: 8, Unroll: 64}
+					if !s.Valid(d, tensor.FP16) {
+						continue
+					}
+					t := d.KernelTime(s.GemmDesc(d, m, n, k, tensor.FP16))
+					if best < 0 || t < best {
+						best = t
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestLearnedModelBeatsRandom(t *testing.T) {
+	d := gpu.T4()
+	// With the same trial budget, model-guided search should on average
+	// find a schedule at least as good as pure random sampling.
+	tuner := NewTuner(d, nil, 42)
+	guided := tuner.TuneGemm(2048, 2048, 2048, 192, tensor.FP16)
+
+	rnd := NewTuner(d, nil, 43)
+	rnd.EvolveBatch = 192 // one giant batch: no model feedback rounds
+	random := rnd.TuneGemm(2048, 2048, 2048, 192, tensor.FP16)
+
+	if guided.Time > random.Time*1.25 {
+		t.Errorf("guided search (%.3g) much worse than random (%.3g)", guided.Time, random.Time)
+	}
+}
+
+func TestCostModelFitPredict(t *testing.T) {
+	m := newCostModel()
+	if m.trained() {
+		t.Error("untrained model claims training")
+	}
+	// Synthetic target: throughput grows with thread tile.
+	for tm := 1; tm <= 8; tm *= 2 {
+		for tn := 1; tn <= 8; tn *= 2 {
+			s := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: tm, ThreadN: tn, Vec: 4, Unroll: 64}
+			m.observe(features(s, 1024, 1024, 1024), float64(tm*tn*100))
+		}
+	}
+	m.fit()
+	if !m.trained() {
+		t.Fatal("model did not train")
+	}
+	lo := m.predict(features(Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 1, ThreadN: 1, Vec: 4, Unroll: 64}, 1024, 1024, 1024))
+	hi := m.predict(features(Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 4, Unroll: 64}, 1024, 1024, 1024))
+	if hi <= lo {
+		t.Errorf("model failed to learn monotone trend: hi %f <= lo %f", hi, lo)
+	}
+}
+
+func TestConvDescBetterThanGemmIssue(t *testing.T) {
+	d := gpu.T4()
+	s := Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 8, Unroll: 64}
+	g := ConvGeometry{M: 32 * 56 * 56, N: 64, K: 576, ActivationElems: 32 * 56 * 56 * 64}
+	conv := s.ConvDesc(d, g, tensor.FP16)
+	gemm := s.GemmDesc(d, g.M, g.N, g.K, tensor.FP16)
+	if conv.IssueEff <= gemm.IssueEff {
+		t.Error("direct conv schedules should have higher issue efficiency than GEMM tiling")
+	}
+}

@@ -1,0 +1,114 @@
+package ansor
+
+import "math"
+
+// costModel is the learned performance model: ridge regression over
+// schedule features predicting log throughput, retrained as
+// measurements accumulate. This mirrors the XGBoost-style learned
+// model in Ansor at the fidelity our search needs: it ranks candidates
+// so the tuner measures only the most promising ones.
+type costModel struct {
+	lambda  float64
+	weights []float64
+	feats   [][]float64
+	targets []float64
+}
+
+func newCostModel() *costModel { return &costModel{lambda: 1e-2} }
+
+const numFeatures = 9
+
+// features extracts the schedule descriptors the model learns from.
+// The device is opaque to the tuner: only schedule-structural and
+// problem-size features are available (no tensor-core or occupancy
+// oracle), which is exactly why opaque tuning is less informed.
+func features(s Schedule, m, n, k int) []float64 {
+	lg := func(x int) float64 { return math.Log2(float64(x) + 1) }
+	return []float64{
+		1, // bias
+		lg(s.TileM), lg(s.TileN), lg(s.TileK),
+		lg(s.ThreadM * s.ThreadN),
+		lg(s.Threads()),
+		lg(s.Vec), lg(s.Unroll),
+		lg(m*n) - lg(s.TileM*s.TileN), // grid size proxy
+	}
+}
+
+// observe records a measured sample (throughput in GFLOP/s).
+func (c *costModel) observe(f []float64, gflops float64) {
+	c.feats = append(c.feats, f)
+	c.targets = append(c.targets, math.Log(gflops+1e-9))
+}
+
+// fit solves (X'X + lambda I) w = X'y by Gaussian elimination.
+func (c *costModel) fit() {
+	n := numFeatures
+	if len(c.feats) < n {
+		return
+	}
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		a[i][i] = c.lambda
+	}
+	for r, f := range c.feats {
+		y := c.targets[r]
+		for i := 0; i < n; i++ {
+			b[i] += f[i] * y
+			for j := 0; j < n; j++ {
+				a[i][j] += f[i] * f[j]
+			}
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			continue
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * w[j]
+		}
+		if math.Abs(a[i][i]) < 1e-12 {
+			w[i] = 0
+		} else {
+			w[i] = sum / a[i][i]
+		}
+	}
+	c.weights = w
+}
+
+// predict scores a feature vector; higher is better. Before any fit,
+// all candidates score equally (cold-start random search).
+func (c *costModel) predict(f []float64) float64 {
+	if c.weights == nil {
+		return 0
+	}
+	s := 0.0
+	for i, w := range c.weights {
+		s += w * f[i]
+	}
+	return s
+}
+
+// trained reports whether the model has been fit at least once.
+func (c *costModel) trained() bool { return c.weights != nil }

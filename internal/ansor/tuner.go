@@ -1,0 +1,200 @@
+package ansor
+
+import (
+	"math/rand"
+
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// Tuner runs evolutionary search with a learned cost model over the
+// SIMT schedule space, measuring candidates on the device and charging
+// realistic per-trial costs (kernel compilation plus RPC measurement
+// round trips) to the tuning clock. This is what makes Ansor's tuning
+// take hours where Bolt's profiler takes minutes (paper Figure 10b).
+type Tuner struct {
+	dev   *gpu.Device
+	clock *gpu.Clock
+	rng   *rand.Rand
+
+	// CompilePerTrial is the simulated cost of building one candidate
+	// kernel (seconds). Each trial compiles a distinct schedule.
+	CompilePerTrial float64
+	// MeasureOverhead is the per-trial host-side cost (upload, RPC,
+	// timer setup) beyond the kernel executions themselves.
+	MeasureOverhead float64
+	// Measure controls the repeats per trial.
+	Measure gpu.MeasureOptions
+
+	// PopulationSize and EvolveBatch shape the search: each round
+	// samples a population, ranks it with the cost model, and measures
+	// the top EvolveBatch schedules on hardware.
+	PopulationSize int
+	EvolveBatch    int
+}
+
+// NewTuner builds a tuner with the default search hyper-parameters.
+func NewTuner(dev *gpu.Device, clock *gpu.Clock, seed int64) *Tuner {
+	return &Tuner{
+		dev:             dev,
+		clock:           clock,
+		rng:             rand.New(rand.NewSource(seed)),
+		CompilePerTrial: 1.5,
+		MeasureOverhead: 0.8,
+		Measure:         gpu.QuickMeasure(),
+		PopulationSize:  512,
+		EvolveBatch:     64,
+	}
+}
+
+// Result is the outcome of a tuning run.
+type Result struct {
+	Schedule Schedule
+	Time     float64 // best measured kernel time, seconds
+	Trials   int     // schedules actually measured
+}
+
+// descFn lowers a schedule to a kernel descriptor for the problem
+// being tuned.
+type descFn func(Schedule) gpu.KernelDesc
+
+// TuneGemm searches `trials` measured candidates for an m×n×k GEMM.
+func (t *Tuner) TuneGemm(m, n, k, trials int, dt tensor.DType) Result {
+	return t.tune(trials, dt, m, n, k, func(s Schedule) gpu.KernelDesc {
+		return s.GemmDesc(t.dev, m, n, k, dt)
+	})
+}
+
+// TuneConv searches `trials` measured candidates for a convolution.
+func (t *Tuner) TuneConv(g ConvGeometry, trials int, dt tensor.DType) Result {
+	return t.tune(trials, dt, g.M, g.N, g.K, func(s Schedule) gpu.KernelDesc {
+		return s.ConvDesc(t.dev, g, dt)
+	})
+}
+
+func (t *Tuner) tune(trials int, dt tensor.DType, m, n, k int, lower descFn) Result {
+	model := newCostModel()
+	best := Result{Time: -1}
+	var elite []Schedule
+
+	for best.Trials < trials {
+		// Build a candidate population: random exploration plus
+		// mutations of the measured elite.
+		pop := make([]Schedule, 0, t.PopulationSize)
+		for len(pop) < t.PopulationSize/2 {
+			if s, ok := t.randomSchedule(dt); ok {
+				pop = append(pop, s)
+			}
+		}
+		for _, e := range elite {
+			for i := 0; i < 8 && len(pop) < t.PopulationSize; i++ {
+				if s, ok := t.mutate(e, dt); ok {
+					pop = append(pop, s)
+				}
+			}
+		}
+		for len(pop) < t.PopulationSize {
+			if s, ok := t.randomSchedule(dt); ok {
+				pop = append(pop, s)
+			}
+		}
+
+		// Rank with the learned model (cold start: keep sampled order,
+		// i.e. random search).
+		if model.trained() {
+			scores := make([]float64, len(pop))
+			for i, s := range pop {
+				scores[i] = model.predict(features(s, m, n, k))
+			}
+			sortByScore(pop, scores)
+		}
+
+		// Measure the top batch on the device.
+		batch := t.EvolveBatch
+		if rem := trials - best.Trials; batch > rem {
+			batch = rem
+		}
+		measured := pop[:0]
+		for _, s := range pop {
+			if len(measured) == batch {
+				break
+			}
+			desc := lower(s)
+			if t.clock != nil {
+				t.clock.Advance(t.CompilePerTrial + t.MeasureOverhead)
+			}
+			tm := gpu.Measure(t.dev, desc, t.Measure, t.rng, t.clock)
+			best.Trials++
+			gflops := desc.FLOPs / tm / 1e9
+			model.observe(features(s, m, n, k), gflops)
+			if best.Time < 0 || tm < best.Time {
+				best.Time = tm
+				best.Schedule = s
+			}
+			measured = append(measured, s)
+		}
+		model.fit()
+
+		// New elite: the best schedules measured so far (greedy).
+		elite = append(elite[:0], best.Schedule)
+	}
+	// Final verification run: the winning schedule is re-timed with the
+	// full measurement methodology (mean of many runs), removing the
+	// min-of-noisy-samples bias of the search loop.
+	best.Time = t.dev.KernelTime(lower(best.Schedule))
+	if t.clock != nil {
+		t.clock.Advance(best.Time * float64(gpu.DefaultMeasure().Repeats))
+	}
+	return best
+}
+
+func pick(rng *rand.Rand, opts []int) int { return opts[rng.Intn(len(opts))] }
+
+func (t *Tuner) randomSchedule(dt tensor.DType) (Schedule, bool) {
+	s := Schedule{
+		TileM:   pick(t.rng, tileOpts),
+		TileN:   pick(t.rng, tileOpts),
+		TileK:   pick(t.rng, tileKOpts),
+		ThreadM: pick(t.rng, threadOpts),
+		ThreadN: pick(t.rng, threadOpts),
+		Vec:     pick(t.rng, vecOpts),
+		Unroll:  pick(t.rng, unrollOpts),
+	}
+	return s, s.Valid(t.dev, dt)
+}
+
+func (t *Tuner) mutate(s Schedule, dt tensor.DType) (Schedule, bool) {
+	m := s
+	switch t.rng.Intn(7) {
+	case 0:
+		m.TileM = pick(t.rng, tileOpts)
+	case 1:
+		m.TileN = pick(t.rng, tileOpts)
+	case 2:
+		m.TileK = pick(t.rng, tileKOpts)
+	case 3:
+		m.ThreadM = pick(t.rng, threadOpts)
+	case 4:
+		m.ThreadN = pick(t.rng, threadOpts)
+	case 5:
+		m.Vec = pick(t.rng, vecOpts)
+	case 6:
+		m.Unroll = pick(t.rng, unrollOpts)
+	}
+	return m, m.Valid(t.dev, dt)
+}
+
+// sortByScore sorts pop descending by score (simple insertion sort —
+// population is small and this avoids pulling in reflect-heavy sort
+// for a hot path).
+func sortByScore(pop []Schedule, scores []float64) {
+	for i := 1; i < len(pop); i++ {
+		s, sc := pop[i], scores[i]
+		j := i - 1
+		for j >= 0 && scores[j] < sc {
+			pop[j+1], scores[j+1] = pop[j], scores[j]
+			j--
+		}
+		pop[j+1], scores[j+1] = s, sc
+	}
+}

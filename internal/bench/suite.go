@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bolt/internal/ansor"
+	"bolt/internal/cublaslike"
+	"bolt/internal/gpu"
+	"bolt/internal/profiler"
+)
+
+// Suite holds the shared state for running the paper's experiments on
+// one device.
+type Suite struct {
+	Dev *gpu.Device
+	Lib *cublaslike.Library
+
+	// MicroTrials is the Ansor budget per microbenchmark workload (the
+	// paper tunes 2000 trials per workload for Figures 1 and 8).
+	MicroTrials int
+	// E2ETrialsPerTask is the Ansor budget per task for the end-to-end
+	// study (the paper's "recommended 900 x the number of tasks").
+	E2ETrialsPerTask int
+	// Batch is the inference batch size (32 throughout the paper).
+	Batch int
+
+	seed     int64
+	e2eCache []e2eResult
+}
+
+// NewSuite builds a full-fidelity suite (paper trial budgets).
+func NewSuite(dev *gpu.Device) *Suite {
+	return &Suite{
+		Dev: dev, Lib: cublaslike.New(dev),
+		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32, seed: 1,
+	}
+}
+
+// NewQuickSuite reduces tuning budgets so the whole suite runs in
+// seconds (for tests and -quick runs). Reported tuning times are
+// scaled back to the paper's budgets (see Figure10b notes).
+func NewQuickSuite(dev *gpu.Device) *Suite {
+	s := NewSuite(dev)
+	s.MicroTrials = 192
+	s.E2ETrialsPerTask = 96
+	return s
+}
+
+// newProfiler builds a Bolt profiler with an attached tuning clock.
+func (s *Suite) newProfiler() (*profiler.Profiler, *gpu.Clock) {
+	var clock gpu.Clock
+	p := profiler.New(s.Dev, &clock)
+	p.Measure.NoiseStdDev = 0
+	return p, &clock
+}
+
+// newAnsor builds a baseline tuner with an attached tuning clock.
+func (s *Suite) newAnsor() (*ansor.Tuner, *gpu.Clock) {
+	var clock gpu.Clock
+	s.seed++
+	return ansor.NewTuner(s.Dev, &clock, s.seed), &clock
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() []*Table {
+	return []*Table{
+		s.Figure1(),
+		s.Figure8a(),
+		s.Figure8b(),
+		s.Figure9a(),
+		s.Figure9b(),
+		s.Table1(),
+		s.Table2(),
+		s.Table3(),
+		s.Figure10a(),
+		s.Figure10b(),
+		s.Table4(),
+		s.Table5(),
+		s.Table6(),
+	}
+}
+
+// ByID returns the experiment regenerator for an id like "fig8a".
+func (s *Suite) ByID(id string) func() *Table {
+	m := map[string]func() *Table{
+		"fig1": s.Figure1, "fig8a": s.Figure8a, "fig8b": s.Figure8b,
+		"fig9a": s.Figure9a, "fig9b": s.Figure9b,
+		"tab1": s.Table1, "tab2": s.Table2, "tab3": s.Table3,
+		"fig10a": s.Figure10a, "fig10b": s.Figure10b,
+		"tab4": s.Table4, "tab5": s.Table5, "tab6": s.Table6,
+	}
+	return m[id]
+}
+
+// IDs lists experiment ids in paper order.
+func IDs() []string {
+	return []string{"fig1", "fig8a", "fig8b", "fig9a", "fig9b",
+		"tab1", "tab2", "tab3", "fig10a", "fig10b", "tab4", "tab5", "tab6"}
+}

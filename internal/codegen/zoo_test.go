@@ -1,0 +1,141 @@
+package codegen
+
+import (
+	"testing"
+
+	"bolt/internal/gpu"
+	"bolt/internal/models"
+	"bolt/internal/profiler"
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+)
+
+// compileZoo compiles a zoo model through the full Bolt pipeline.
+func compileZoo(t *testing.T, g *relay.Graph) *rt.Module {
+	t.Helper()
+	dev := gpu.T4()
+	if err := relay.Optimize(g, dev); err != nil {
+		t.Fatal(err)
+	}
+	p := profiler.New(dev, nil)
+	p.Measure.NoiseStdDev = 0
+	m, err := Compile(g, dev, Options{Tuner: TunerBolt, Profiler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestZooCompiles is the integration sweep: every model in the zoo
+// must optimize, partition, profile, and compile, producing a module
+// with sane accounting.
+func TestZooCompiles(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *relay.Graph
+		// minLaunches sanity-checks that fusion did not collapse the
+		// model into nothing, maxLaunches that fusion happened at all.
+		minLaunches, maxLaunches int
+	}{
+		{"VGG-16", func() *relay.Graph { return models.VGG(16, 8) }, 15, 30},
+		{"ResNet-18", func() *relay.Graph { return models.ResNet(18, 8) }, 25, 50},
+		{"ResNet-50", func() *relay.Graph { return models.ResNet(50, 8) }, 50, 100},
+		{"RepVGG-A0", func() *relay.Graph { return models.RepVGG("A0", 8, models.RepVGGOptions{}) }, 20, 30},
+		{"RepVGGAug-A0", func() *relay.Graph {
+			return models.RepVGG("A0", 8, models.RepVGGOptions{Deepen1x1: true})
+		}, 20, 35},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := compileZoo(t, c.build())
+			if tm := m.Time(); tm <= 0 || tm > 1 {
+				t.Errorf("modeled time %g implausible", tm)
+			}
+			l := m.LaunchCount()
+			if l < c.minLaunches || l > c.maxLaunches {
+				t.Errorf("%d launches outside [%d, %d]", l, c.minLaunches, c.maxLaunches)
+			}
+			// Every launched kernel must have a priceable descriptor.
+			for i := range m.Kernels {
+				k := &m.Kernels[i]
+				if k.Launches > 0 && m.Device.KernelTime(k.Desc) <= 0 {
+					t.Errorf("kernel %s has non-positive time", k.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestRepVGGAugFusesPairs: the deepened model's 3x3+1x1 pairs must all
+// become persistent kernels — this is the mechanism behind Table 5's
+// modest speed cost.
+func TestRepVGGAugFusesPairs(t *testing.T) {
+	g := models.RepVGG("A0", 8, models.RepVGGOptions{Deepen1x1: true})
+	conv3x3 := 0
+	for _, n := range g.Nodes {
+		if n.Op == relay.OpConv2D && n.Conv.KH == 3 {
+			conv3x3++
+		}
+	}
+	m := compileZoo(t, g)
+	persistentKernels := 0
+	looseOneByOne := 0
+	for i := range m.Kernels {
+		switch m.Kernels[i].Node.Op {
+		case relay.OpPersistentConv:
+			persistentKernels++
+		case relay.OpConv2D:
+			if m.Kernels[i].Node.Conv.KH == 1 {
+				looseOneByOne++
+			}
+		}
+	}
+	// 21 of the 22 3x3 convs gain a 1x1 follower; every pair for which
+	// fusion is beneficial becomes a persistent kernel. Require the
+	// vast majority to fuse.
+	if persistentKernels < 15 {
+		t.Errorf("only %d persistent conv kernels (of ~21 pairs)", persistentKernels)
+	}
+	if looseOneByOne > 6 {
+		t.Errorf("%d unfused 1x1 convs remain", looseOneByOne)
+	}
+	_ = conv3x3
+}
+
+// TestResNetDownsampleNotFused: ResNet's 1x1 downsample convs have
+// stride 2 and feed residual adds (fan-out), so persistent fusion must
+// leave them alone.
+func TestResNetDownsampleNotFused(t *testing.T) {
+	g := models.ResNet(18, 8)
+	m := compileZoo(t, g)
+	for i := range m.Kernels {
+		n := m.Kernels[i].Node
+		if n.Op == relay.OpPersistentConv {
+			for _, cl := range n.Chain[1:] {
+				if cl.Conv.StrideH != 1 {
+					t.Errorf("strided conv fused into a chain: %+v", cl.Conv)
+				}
+			}
+		}
+	}
+}
+
+// TestBaselineZooCompiles runs the Ansor path over a couple of models.
+func TestBaselineZooCompiles(t *testing.T) {
+	dev := gpu.T4()
+	for _, build := range []func() *relay.Graph{
+		func() *relay.Graph { return models.ResNet(18, 8) },
+		func() *relay.Graph { return models.RepVGG("A0", 8, models.RepVGGOptions{}) },
+	} {
+		g := build()
+		relay.FoldBatchNorm(g)
+		relay.FuseEpilogue(g)
+		m, err := Compile(g, dev, Options{Tuner: TunerAnsor, AnsorTuner: newTestTuner(dev), AnsorTrials: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Time() <= 0 {
+			t.Error("baseline module time must be positive")
+		}
+	}
+}

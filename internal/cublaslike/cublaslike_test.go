@@ -1,0 +1,117 @@
+package cublaslike
+
+import (
+	"testing"
+
+	"bolt/internal/ansor"
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+func TestLibraryOpens(t *testing.T) {
+	l := New(gpu.T4())
+	if len(l.configs) == 0 {
+		t.Fatal("no valid kernels in table")
+	}
+	for _, c := range l.configs {
+		if c.Op != gpu.OpClassTensorOp {
+			t.Error("vendor FP16 kernels use tensor cores")
+		}
+	}
+}
+
+func TestHeuristicPicksBySize(t *testing.T) {
+	l := New(gpu.T4())
+	big := l.selectConfig(4096, 4096, 4096)
+	small := l.selectConfig(128, 128, 512)
+	if big.TB.Area() <= small.TB.Area() {
+		t.Errorf("big problems should get bigger tiles: %v vs %v", big.TB, small.TB)
+	}
+}
+
+func TestNearRooflineOnBigGemm(t *testing.T) {
+	d := gpu.T4()
+	l := New(d)
+	m, n, k := 4096, 4096, 4096
+	tflops := 2 * float64(m) * float64(n) * float64(k) / l.GemmTime(m, n, k) / 1e12
+	// cuBLAS on T4 sustains roughly 45-60 FP16 TFLOPS on large GEMMs.
+	if tflops < 40 || tflops > 65 {
+		t.Errorf("vendor GEMM achieves %.0f TFLOPS, want hardware-native 40-65", tflops)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// The paper's Figure 1: Ansor achieves < ~25% of cuBLAS on FP16
+	// GEMMs (roughly 20% in their measurements). Reproduce the ratio
+	// band for the same five workloads.
+	d := gpu.T4()
+	l := New(d)
+	workloads := []struct{ m, n, k int }{
+		{1024, 1024, 1024},
+		{2048, 2048, 2048},
+		{1280, 768, 768},
+		{1280, 3072, 768},
+		{1280, 768, 3072},
+	}
+	for _, w := range workloads {
+		tuner := ansor.NewTuner(d, nil, 99)
+		res := tuner.TuneGemm(w.m, w.n, w.k, 192, tensor.FP16)
+		ratio := l.GemmTime(w.m, w.n, w.k) / res.Time // ansor speed / cublas speed
+		if ratio > 0.35 {
+			t.Errorf("(%d,%d,%d): Ansor reaches %.0f%% of cuBLAS, paper shows ~20%%",
+				w.m, w.n, w.k, ratio*100)
+		}
+		if ratio < 0.05 {
+			t.Errorf("(%d,%d,%d): Ansor at %.0f%% of cuBLAS is implausibly slow", w.m, w.n, w.k, ratio*100)
+		}
+	}
+}
+
+func TestUnalignedFallback(t *testing.T) {
+	d := gpu.T4()
+	l := New(d)
+	// N=1022 cannot use the alignment-8 kernels; the library falls back
+	// to a narrower (slower) kernel rather than padding.
+	aligned := l.GemmTime(1280, 1024, 768)
+	unaligned := l.GemmTime(1280, 1022, 768)
+	if unaligned <= aligned {
+		t.Error("unaligned shape should be slower (no padding in fixed-function libraries)")
+	}
+}
+
+func TestFixedFunctionLimits(t *testing.T) {
+	l := New(gpu.T4())
+	if !l.SupportsEpilogue(cutlass.BiasActivation(cutlass.ActReLU)) {
+		t.Error("bias+ReLU is in the cuDNN op set")
+	}
+	for _, act := range []cutlass.Activation{cutlass.ActGELU, cutlass.ActHardswish, cutlass.ActSoftplus} {
+		if l.SupportsEpilogue(cutlass.BiasActivation(act)) {
+			t.Errorf("%v epilogue must be unsupported by the fixed op set", act)
+		}
+	}
+	if l.SupportsPersistentFusion() {
+		t.Error("fixed-function libraries cannot fuse back-to-back GEMMs")
+	}
+}
+
+func TestGemmFunctional(t *testing.T) {
+	l := New(gpu.T4())
+	a := tensor.New(tensor.FP16, 32, 64)
+	b := tensor.New(tensor.FP16, 64, 16)
+	a.FillRandom(1, 1)
+	b.FillRandom(2, 1)
+	got := l.Gemm(a, b)
+	want := cutlass.ReferenceGemm(a, b, nil, cutlass.DefaultEpilogue())
+	if !tensor.AllClose(got, want, 1e-2, 1e-3) {
+		t.Errorf("vendor GEMM numerics deviate: %g", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestConvTime(t *testing.T) {
+	l := New(gpu.T4())
+	s := cutlass.Conv3x3(32, 56, 56, 64, 64, 1, 1)
+	if tm := l.ConvTime(s); tm <= 0 {
+		t.Errorf("conv time %g", tm)
+	}
+}

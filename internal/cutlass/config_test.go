@@ -1,0 +1,191 @@
+package cutlass
+
+import (
+	"strings"
+	"testing"
+
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// stdConfig is a canonical valid Turing FP16 tensor-op configuration.
+func stdConfig() GemmConfig {
+	return GemmConfig{
+		TB:     Shape3{128, 128, 32},
+		Warp:   Shape3{64, 64, 32},
+		Inst:   Shape3{16, 8, 8},
+		Stages: 2, SwizzleLog: 1,
+		AlignA: 8, AlignB: 8, AlignC: 8,
+		Op: gpu.OpClassTensorOp, DType: tensor.FP16,
+	}
+}
+
+func TestValidConfig(t *testing.T) {
+	d := gpu.T4()
+	if err := stdConfig().Validate(d); err != nil {
+		t.Fatalf("canonical config invalid: %v", err)
+	}
+}
+
+func TestConfigDerivedQuantities(t *testing.T) {
+	c := stdConfig()
+	if c.WarpsM() != 2 || c.WarpsN() != 2 || c.WarpCount() != 4 {
+		t.Errorf("warp partition wrong: %d x %d", c.WarpsM(), c.WarpsN())
+	}
+	if c.Threads() != 128 {
+		t.Errorf("threads = %d, want 128", c.Threads())
+	}
+	// smem = 2 stages * (128+128)*32 els * 2 B = 32 KiB
+	if c.SharedMemBytes() != 32<<10 {
+		t.Errorf("smem = %d, want 32768", c.SharedMemBytes())
+	}
+	// regs = 64*64/32 + (64+64)*8/32 + 32 = 128+32+32 = 192
+	if c.RegsPerThread() != 192 {
+		t.Errorf("regs = %d, want 192", c.RegsPerThread())
+	}
+	if !strings.Contains(c.Name(), "tensorop_h1688gemm_128x128_32x2_align8") {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestInstructionShapePerArch(t *testing.T) {
+	if InstructionShape(gpu.SM75) != (Shape3{16, 8, 8}) {
+		t.Error("Turing HMMA shape wrong")
+	}
+	if InstructionShape(gpu.SM80) != (Shape3{16, 8, 16}) {
+		t.Error("Ampere HMMA shape wrong")
+	}
+	if InstructionShape(gpu.SM70) != (Shape3{16, 8, 8}) {
+		t.Error("Volta should fall back to 16x8x8")
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	d := gpu.T4()
+	mutations := []struct {
+		name string
+		mut  func(*GemmConfig)
+		want string
+	}{
+		{"warp does not tile tb", func(c *GemmConfig) { c.Warp.M = 48 }, "does not tile threadblock"},
+		{"warp K != tb K", func(c *GemmConfig) { c.Warp.K = 16 }, "warp K"},
+		{"inst does not tile warp", func(c *GemmConfig) { c.Inst = Shape3{16, 8, 3} }, "does not tile warp"},
+		{"too many warps", func(c *GemmConfig) { c.TB = Shape3{512, 512, 32}; c.Warp = Shape3{32, 32, 32} }, "warps per threadblock"},
+		{"stages too low", func(c *GemmConfig) { c.Stages = 1 }, "stages"},
+		{"multistage on turing", func(c *GemmConfig) { c.Stages = 3 }, "sm_80"},
+		{"smem overflow", func(c *GemmConfig) { c.TB = Shape3{256, 256, 64}; c.Warp = Shape3{128, 128, 64} }, ""},
+		{"bad alignment", func(c *GemmConfig) { c.AlignA = 3 }, "alignments"},
+		{"bad swizzle", func(c *GemmConfig) { c.SwizzleLog = 5 }, "swizzle"},
+		{"fp32 tensorop", func(c *GemmConfig) { c.DType = tensor.FP32 }, "no FP32 tensor cores"},
+		{"zero tb", func(c *GemmConfig) { c.TB.M = 0 }, "non-positive"},
+		{"negative warp", func(c *GemmConfig) { c.Warp.N = -32 }, ""},
+	}
+	for _, m := range mutations {
+		c := stdConfig()
+		m.mut(&c)
+		err := c.Validate(d)
+		if err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+			continue
+		}
+		if m.want != "" && !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestMultistageValidOnAmpere(t *testing.T) {
+	c := stdConfig()
+	c.Inst = Shape3{16, 8, 16}
+	c.Stages = 4
+	if err := c.Validate(gpu.A100()); err != nil {
+		t.Errorf("4-stage config should be valid on A100: %v", err)
+	}
+}
+
+func TestRegisterOverflowRejected(t *testing.T) {
+	d := gpu.T4()
+	c := stdConfig()
+	// One warp owning a 128x128 tile: 512 accumulator regs alone.
+	c.TB = Shape3{128, 128, 32}
+	c.Warp = Shape3{128, 128, 32}
+	if err := c.Validate(d); err == nil {
+		t.Error("128x128 warp tile should exceed the register cap")
+	}
+}
+
+func TestSupportsProblem(t *testing.T) {
+	c := stdConfig()
+	if !c.SupportsProblem(1024, 1024, 1024) {
+		t.Error("aligned problem rejected")
+	}
+	if c.SupportsProblem(1024, 1022, 1024) {
+		t.Error("N not divisible by 8 must be rejected at alignment 8")
+	}
+	if c.SupportsProblem(1024, 1024, 1023) {
+		t.Error("K not divisible by 8 must be rejected at alignment 8")
+	}
+	c.AlignA, c.AlignB, c.AlignC = 2, 2, 2
+	if !c.SupportsProblem(1024, 1022, 1024) {
+		t.Error("alignment-2 kernel should accept even dims")
+	}
+	// M is never alignment constrained for row-major A.
+	if !c.SupportsProblem(33, 1024, 1024) {
+		t.Error("odd M must be accepted")
+	}
+}
+
+func TestIssueEffProperties(t *testing.T) {
+	c := stdConfig()
+	// Longer K amortizes pipeline fill: efficiency increases.
+	if !(c.issueEff(4096) > c.issueEff(256) && c.issueEff(256) > c.issueEff(32)) {
+		t.Error("issue efficiency must increase with K depth")
+	}
+	// Bigger warp tiles amortize operand fetch.
+	small := c
+	small.Warp = Shape3{32, 32, 32}
+	if c.issueEff(1024) <= small.issueEff(1024) {
+		t.Error("larger warp tile should have higher issue efficiency")
+	}
+	if e := c.issueEff(4096); e <= 0 || e > 1 {
+		t.Errorf("issueEff out of range: %f", e)
+	}
+}
+
+func TestTrafficModel(t *testing.T) {
+	d := gpu.T4()
+	c := stdConfig()
+	m, n, k := 1024, 1024, 1024
+	loadB, storeB := c.traffic(d, m, n, k, 2)
+	if storeB != float64(m*n*2) {
+		t.Errorf("store bytes %g, want %d", storeB, m*n*2)
+	}
+	compulsory := float64((m*k + k*n) * 2)
+	if loadB < compulsory {
+		t.Errorf("load bytes %g below compulsory %g", loadB, compulsory)
+	}
+	// More swizzling (bigger tile groups) must not increase traffic.
+	c2 := c
+	c2.SwizzleLog = 3
+	load2, _ := c2.traffic(d, m, n, k, 2)
+	if load2 > loadB {
+		t.Errorf("swizzle 8 traffic %g > swizzle 2 traffic %g", load2, loadB)
+	}
+	// No swizzle loads every tile's operands separately.
+	c0 := c
+	c0.SwizzleLog = 0
+	load0, _ := c0.traffic(d, m, n, k, 2)
+	if load0 <= loadB {
+		t.Errorf("swizzle 0 should have more traffic: %g vs %g", load0, loadB)
+	}
+}
+
+func TestTrafficTinyProblem(t *testing.T) {
+	d := gpu.T4()
+	c := stdConfig()
+	// Problem smaller than one threadblock tile.
+	loadB, storeB := c.traffic(d, 16, 16, 32, 2)
+	if loadB <= 0 || storeB != 16*16*2 {
+		t.Errorf("tiny problem traffic wrong: load %g store %g", loadB, storeB)
+	}
+}

@@ -1,0 +1,283 @@
+package cutlass
+
+import (
+	"fmt"
+
+	"bolt/internal/fp16"
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// ConvShape describes a 2-D convolution problem in NHWC layout (the
+// only layout CUTLASS supports for convolutions — paper §3.2.3).
+// Weights are OHWI: (OC, KH, KW, IC).
+type ConvShape struct {
+	N, H, W, IC, OC  int
+	KH, KW           int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// Conv3x3 builds the common square-kernel shape used throughout the
+// paper's tables.
+func Conv3x3(n, h, w, ic, oc, stride, pad int) ConvShape {
+	return ConvShape{N: n, H: h, W: w, IC: ic, OC: oc, KH: 3, KW: 3,
+		StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}
+}
+
+// Conv1x1 builds a pointwise convolution (stride 1, no padding) — the
+// shape persistent fusion requires for trailing layers.
+func Conv1x1(n, h, w, ic, oc int) ConvShape {
+	return ConvShape{N: n, H: h, W: w, IC: ic, OC: oc, KH: 1, KW: 1,
+		StrideH: 1, StrideW: 1}
+}
+
+// OutH returns the output height.
+func (s ConvShape) OutH() int { return (s.H+2*s.PadH-s.KH)/s.StrideH + 1 }
+
+// OutW returns the output width.
+func (s ConvShape) OutW() int { return (s.W+2*s.PadW-s.KW)/s.StrideW + 1 }
+
+// ImplicitGemm returns the (M, N, K) of the implicit-GEMM formulation:
+// M = N·OH·OW (one row per output pixel), N = OC, K = IC·KH·KW.
+func (s ConvShape) ImplicitGemm() (m, n, k int) {
+	return s.N * s.OutH() * s.OutW(), s.OC, s.IC * s.KH * s.KW
+}
+
+// FLOPs returns the multiply-add work (2 flops per MAC).
+func (s ConvShape) FLOPs() float64 {
+	m, n, k := s.ImplicitGemm()
+	return 2 * float64(m) * float64(n) * float64(k)
+}
+
+// String renders like the paper's workload tables.
+func (s ConvShape) String() string {
+	return fmt.Sprintf("conv %dx%dx%dx%d k%dx%d s%d ic%d oc%d",
+		s.N, s.H, s.W, s.IC, s.KH, s.KW, s.StrideH, s.IC, s.OC)
+}
+
+// Validate sanity-checks the problem geometry.
+func (s ConvShape) Validate() error {
+	if s.N <= 0 || s.H <= 0 || s.W <= 0 || s.IC <= 0 || s.OC <= 0 {
+		return fmt.Errorf("cutlass: non-positive conv dims %+v", s)
+	}
+	if s.KH <= 0 || s.KW <= 0 || s.StrideH <= 0 || s.StrideW <= 0 {
+		return fmt.Errorf("cutlass: non-positive kernel/stride %+v", s)
+	}
+	if s.PadH < 0 || s.PadW < 0 {
+		return fmt.Errorf("cutlass: negative padding %+v", s)
+	}
+	if s.OutH() <= 0 || s.OutW() <= 0 {
+		return fmt.Errorf("cutlass: empty output for %+v", s)
+	}
+	return nil
+}
+
+// Conv2D is an instantiated implicit-GEMM forward-convolution kernel.
+type Conv2D struct {
+	Shape    ConvShape
+	Config   GemmConfig
+	Epilogue Epilogue
+}
+
+// NewConv2D validates and instantiates the template.
+func NewConv2D(shape ConvShape, cfg GemmConfig, epi Epilogue, d *gpu.Device) (*Conv2D, error) {
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(d); err != nil {
+		return nil, err
+	}
+	return &Conv2D{Shape: shape, Config: cfg, Epilogue: epi}, nil
+}
+
+// Name returns the kernel name in CUTLASS conv convention.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("%s_fprop_%s", c.Config.Name(), c.Epilogue.String())
+}
+
+// SupportsProblem reports whether the operand alignments divide the
+// channel counts (NHWC innermost dimension is C; paper §3.2.3: a
+// 3-input-channel first layer forces alignment 1).
+func (c *Conv2D) SupportsProblem() bool {
+	s := c.Shape
+	// Activation & weight contiguous dim: IC; output contiguous dim: OC.
+	return s.IC%c.Config.AlignA == 0 && s.IC%c.Config.AlignB == 0 && s.OC%c.Config.AlignC == 0
+}
+
+// Run executes the convolution functionally. x is NHWC (N,H,W,IC);
+// w is OHWI (OC,KH,KW,IC); bias is a length-OC vector or nil. The
+// output is NHWC (N,OH,OW,OC), quantized to the epilogue out dtype.
+func (c *Conv2D) Run(x, w, bias *tensor.Tensor) *tensor.Tensor {
+	s := c.Shape
+	xs, ws := x.Shape(), w.Shape()
+	if len(xs) != 4 || xs[0] != s.N || xs[1] != s.H || xs[2] != s.W || xs[3] != s.IC {
+		panic(fmt.Sprintf("cutlass: conv input shape %v != NHWC of %+v", xs, s))
+	}
+	if len(ws) != 4 || ws[0] != s.OC || ws[1] != s.KH || ws[2] != s.KW || ws[3] != s.IC {
+		panic(fmt.Sprintf("cutlass: conv weight shape %v != OHWI of %+v", ws, s))
+	}
+	if !c.SupportsProblem() {
+		panic(fmt.Sprintf("cutlass: conv %+v violates alignment %d/%d/%d",
+			s, c.Config.AlignA, c.Config.AlignB, c.Config.AlignC))
+	}
+	var bd []float32
+	if bias != nil {
+		if bias.NumElements() != s.OC {
+			panic(fmt.Sprintf("cutlass: bias length %d != OC %d", bias.NumElements(), s.OC))
+		}
+		bd = bias.Data()
+	}
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.NewWithLayout(c.Epilogue.OutDType, tensor.LayoutNHWC, s.N, oh, ow, s.OC)
+	xd, wd, od := x.Data(), w.Data(), out.Data()
+	quant := c.Epilogue.OutDType == tensor.FP16
+
+	rows := s.N * oh
+	parallelRows(rows, func(r0, r1 int) {
+		acc := make([]float32, s.OC)
+		for r := r0; r < r1; r++ {
+			in := r / oh
+			io := r % oh
+			for jo := 0; jo < ow; jo++ {
+				for k := range acc {
+					acc[k] = 0
+				}
+				for kh := 0; kh < s.KH; kh++ {
+					ih := io*s.StrideH - s.PadH + kh
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for kw := 0; kw < s.KW; kw++ {
+						iw := jo*s.StrideW - s.PadW + kw
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						xoff := ((in*s.H+ih)*s.W + iw) * s.IC
+						for oc := 0; oc < s.OC; oc++ {
+							woff := ((oc*s.KH+kh)*s.KW + kw) * s.IC
+							sum := acc[oc]
+							for ic := 0; ic < s.IC; ic++ {
+								sum += xd[xoff+ic] * wd[woff+ic]
+							}
+							acc[oc] = sum
+						}
+					}
+				}
+				ooff := ((in*oh+io)*ow + jo) * s.OC
+				for oc := 0; oc < s.OC; oc++ {
+					var cv float32
+					if bd != nil {
+						cv = bd[oc]
+					}
+					v := c.Epilogue.apply(acc[oc], cv)
+					if quant {
+						v = fp16.ToFloat32(fp16.FromFloat32(v))
+					}
+					od[ooff+oc] = v
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Desc lowers the convolution to a device kernel descriptor using the
+// implicit-GEMM dimensions. Activation traffic counts the true NHWC
+// footprint (halo overlap between filter taps hits L2/SMEM, not DRAM).
+func (c *Conv2D) Desc(d *gpu.Device) gpu.KernelDesc {
+	s := c.Shape
+	m, n, k := s.ImplicitGemm()
+	cfg := c.Config
+	tilesM, tilesN := cfg.tileCounts(m, n)
+	esize := cfg.DType.Size()
+
+	g := 1 << cfg.SwizzleLog
+	if g > tilesM {
+		g = tilesM
+	}
+	if g > tilesN {
+		g = tilesN
+	}
+	// Activation footprint re-read once per column-tile group; weight
+	// footprint once per row-tile group — unless the operand stays
+	// L2-resident, in which case DRAM sees it once.
+	actB := L2Discounted(d, float64(s.N*s.H*s.W*s.IC)*float64(esize), (tilesN+g-1)/g)
+	wB := L2Discounted(d, float64(s.OC*s.KH*s.KW*s.IC)*float64(esize), (tilesM+g-1)/g)
+	loadB := actB + wB
+	if bias := c.Epilogue; bias.Beta != 0 && bias.BiasVector {
+		loadB += float64(s.OC * esize)
+	}
+	storeB := float64(m) * float64(n) * float64(c.Epilogue.OutDType.Size())
+
+	flops := 2*float64(m)*float64(n)*float64(k) + c.Epilogue.flopsPerElement()*float64(m)*float64(n)
+
+	align := cfg.AlignA
+	if cfg.AlignB < align {
+		align = cfg.AlignB
+	}
+	if cfg.AlignC < align {
+		align = cfg.AlignC
+	}
+	// Implicit-GEMM fprop pays extra predication and pointer math in
+	// its main loop versus a plain GEMM.
+	issue := cfg.issueEff(k) * 0.72
+	return gpu.KernelDesc{
+		Name:            c.Name(),
+		GridBlocks:      tilesM * tilesN,
+		ThreadsPerBlock: cfg.Threads(),
+		RegsPerThread:   cfg.RegsPerThread() + 16, // im2col iterator state
+		SharedMemBytes:  cfg.SharedMemBytes(),
+		FLOPs:           flops,
+		GlobalLoadB:     loadB,
+		GlobalStoreB:    storeB,
+		OpClass:         cfg.Op,
+		DType:           cfg.DType,
+		AlignmentElems:  align,
+		IssueEff:        issue,
+		MemEff:          0.9,
+	}
+}
+
+// Time prices one launch on the device model.
+func (c *Conv2D) Time(d *gpu.Device) float64 { return d.KernelTime(c.Desc(d)) }
+
+// ReferenceConv2D computes the convolution directly with FP64
+// accumulation, the oracle for kernel validation.
+func ReferenceConv2D(s ConvShape, x, w, bias *tensor.Tensor, epi Epilogue) *tensor.Tensor {
+	oh, ow := s.OutH(), s.OutW()
+	out := tensor.NewWithLayout(epi.OutDType, tensor.LayoutNHWC, s.N, oh, ow, s.OC)
+	xd, wd, od := x.Data(), w.Data(), out.Data()
+	for in := 0; in < s.N; in++ {
+		for io := 0; io < oh; io++ {
+			for jo := 0; jo < ow; jo++ {
+				for oc := 0; oc < s.OC; oc++ {
+					sum := 0.0
+					for kh := 0; kh < s.KH; kh++ {
+						ih := io*s.StrideH - s.PadH + kh
+						if ih < 0 || ih >= s.H {
+							continue
+						}
+						for kw := 0; kw < s.KW; kw++ {
+							iw := jo*s.StrideW - s.PadW + kw
+							if iw < 0 || iw >= s.W {
+								continue
+							}
+							for ic := 0; ic < s.IC; ic++ {
+								sum += float64(xd[((in*s.H+ih)*s.W+iw)*s.IC+ic]) *
+									float64(wd[((oc*s.KH+kh)*s.KW+kw)*s.IC+ic])
+							}
+						}
+					}
+					var cv float32
+					if bias != nil {
+						cv = bias.Data()[oc]
+					}
+					od[((in*oh+io)*ow+jo)*s.OC+oc] = epi.apply(float32(sum), cv)
+				}
+			}
+		}
+	}
+	out.Quantize()
+	return out
+}

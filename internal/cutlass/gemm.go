@@ -1,0 +1,262 @@
+package cutlass
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bolt/internal/fp16"
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// Gemm is an instantiated GEMM kernel template: a tile configuration
+// plus a fused epilogue. It computes D = epilogue(A·B, C) where A is
+// M×K and B is K×N, both row-major.
+type Gemm struct {
+	Config   GemmConfig
+	Epilogue Epilogue
+}
+
+// NewGemm instantiates the template after validating the configuration.
+func NewGemm(cfg GemmConfig, epi Epilogue, d *gpu.Device) (*Gemm, error) {
+	if err := cfg.Validate(d); err != nil {
+		return nil, err
+	}
+	return &Gemm{Config: cfg, Epilogue: epi}, nil
+}
+
+// Name returns the full kernel name including the epilogue.
+func (g *Gemm) Name() string {
+	return g.Config.Name() + "_" + g.Epilogue.String()
+}
+
+// Run executes the kernel functionally. A is M×K, B is K×N. c is the
+// epilogue source operand: a length-N bias vector when
+// Epilogue.BiasVector is set, an M×N matrix when Beta != 0 otherwise,
+// or nil. The result is quantized to the epilogue's output dtype.
+// Accumulation is FP32, as on tensor cores.
+func (g *Gemm) Run(a, b, c *tensor.Tensor) *tensor.Tensor {
+	d, _ := g.run(a, b, c)
+	return d
+}
+
+// RunWithReduction executes like Run and additionally returns the
+// column-sum reduction tensor when Epilogue.ReduceColumns is set
+// (nil otherwise).
+func (g *Gemm) RunWithReduction(a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	return g.run(a, b, c)
+}
+
+func (g *Gemm) run(a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	as, bs := a.Shape(), b.Shape()
+	if len(as) != 2 || len(bs) != 2 {
+		panic(fmt.Sprintf("cutlass: gemm operands must be 2-D, got %v x %v", as, bs))
+	}
+	m, k := as[0], as[1]
+	kb, n := bs[0], bs[1]
+	if k != kb {
+		panic(fmt.Sprintf("cutlass: gemm K mismatch %d vs %d", k, kb))
+	}
+	if !g.Config.SupportsProblem(m, n, k) {
+		panic(fmt.Sprintf("cutlass: problem (%d,%d,%d) violates alignment %d/%d/%d",
+			m, n, k, g.Config.AlignA, g.Config.AlignB, g.Config.AlignC))
+	}
+	var cdata []float32
+	if c != nil {
+		cs := c.Shape()
+		if g.Epilogue.BiasVector {
+			if c.NumElements() != n {
+				panic(fmt.Sprintf("cutlass: bias length %d != N %d", c.NumElements(), n))
+			}
+		} else if len(cs) != 2 || cs[0] != m || cs[1] != n {
+			panic(fmt.Sprintf("cutlass: C shape %v != (%d, %d)", cs, m, n))
+		}
+		cdata = c.Data()
+	}
+
+	out := tensor.New(g.Epilogue.OutDType, m, n)
+	od := out.Data()
+	ad, bd := a.Data(), b.Data()
+	quant := g.Epilogue.OutDType == tensor.FP16
+
+	rowsDone := parallelRows(m, func(i0, i1 int) {
+		acc := make([]float32, n)
+		for i := i0; i < i1; i++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			arow := ad[i*k : (i+1)*k]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := bd[kk*n : (kk+1)*n]
+				for j := 0; j < n; j++ {
+					acc[j] += av * brow[j]
+				}
+			}
+			orow := od[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				var cv float32
+				if cdata != nil {
+					if g.Epilogue.BiasVector {
+						cv = cdata[j]
+					} else {
+						cv = cdata[i*n+j]
+					}
+				}
+				v := g.Epilogue.apply(acc[j], cv)
+				if quant {
+					v = fp16.ToFloat32(fp16.FromFloat32(v))
+				}
+				orow[j] = v
+			}
+		}
+	})
+	_ = rowsDone
+
+	var reduced *tensor.Tensor
+	if g.Epilogue.ReduceColumns {
+		reduced = tensor.New(tensor.FP32, n)
+		rd := reduced.Data()
+		for i := 0; i < m; i++ {
+			row := od[i*n : (i+1)*n]
+			for j, v := range row {
+				rd[j] += v
+			}
+		}
+	}
+	return out, reduced
+}
+
+// parallelRows splits [0, m) across workers. Small problems run inline
+// to avoid goroutine overhead in tight test loops.
+func parallelRows(m int, f func(i0, i1 int)) int {
+	workers := runtime.GOMAXPROCS(0)
+	if m < 64 || workers == 1 {
+		f(0, m)
+		return 1
+	}
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(a, b int) {
+			defer wg.Done()
+			f(a, b)
+		}(i0, i1)
+	}
+	wg.Wait()
+	return workers
+}
+
+// Desc lowers one launch of this kernel on an m×n×k problem to the
+// device simulator's descriptor.
+func (g *Gemm) Desc(d *gpu.Device, m, n, k int) gpu.KernelDesc {
+	cfg := g.Config
+	tilesM, tilesN := cfg.tileCounts(m, n)
+	loadB, storeB := cfg.traffic(d, m, n, k, g.Epilogue.OutDType.Size())
+	if g.Epilogue.Beta != 0 {
+		if g.Epilogue.BiasVector {
+			loadB += float64(n) * float64(cfg.DType.Size())
+		} else {
+			loadB += float64(m) * float64(n) * float64(cfg.DType.Size())
+		}
+	}
+	flops := 2 * float64(m) * float64(n) * float64(k)
+	flops += g.Epilogue.flopsPerElement() * float64(m) * float64(n)
+	align := cfg.AlignA
+	if cfg.AlignB < align {
+		align = cfg.AlignB
+	}
+	if cfg.AlignC < align {
+		align = cfg.AlignC
+	}
+	return gpu.KernelDesc{
+		Name:            g.Name(),
+		GridBlocks:      tilesM * tilesN,
+		ThreadsPerBlock: cfg.Threads(),
+		RegsPerThread:   cfg.RegsPerThread(),
+		SharedMemBytes:  cfg.SharedMemBytes(),
+		FLOPs:           flops,
+		GlobalLoadB:     loadB,
+		GlobalStoreB:    storeB,
+		OpClass:         cfg.Op,
+		DType:           cfg.DType,
+		AlignmentElems:  align,
+		IssueEff:        cfg.issueEff(k),
+		MemEff:          0.92,
+	}
+}
+
+// Time prices one launch on the device model.
+func (g *Gemm) Time(d *gpu.Device, m, n, k int) float64 {
+	return d.KernelTime(g.Desc(d, m, n, k))
+}
+
+// ReferenceGemm computes D = act(alpha*A·B + beta*C) with no tiling at
+// FP64 accumulation — the oracle kernels are validated against.
+func ReferenceGemm(a, b, c *tensor.Tensor, epi Epilogue) *tensor.Tensor {
+	as, bs := a.Shape(), b.Shape()
+	m, k, n := as[0], as[1], bs[1]
+	out := tensor.New(epi.OutDType, m, n)
+	ad, bd, od := a.Data(), b.Data(), out.Data()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for kk := 0; kk < k; kk++ {
+				sum += float64(ad[i*k+kk]) * float64(bd[kk*n+j])
+			}
+			var cv float32
+			if c != nil {
+				if epi.BiasVector {
+					cv = c.Data()[j]
+				} else {
+					cv = c.Data()[i*n+j]
+				}
+			}
+			od[i*n+j] = epi.apply(float32(sum), cv)
+		}
+	}
+	out.Quantize()
+	return out
+}
+
+// ElementwiseDesc prices the standalone BiasAdd+activation kernel that
+// a non-fused pipeline must launch after the GEMM: it re-reads and
+// re-writes the full activation (this is exactly the memory traffic
+// epilogue fusion eliminates).
+func ElementwiseDesc(d *gpu.Device, elems int, act Activation, dt tensor.DType) gpu.KernelDesc {
+	threads := 256
+	blocks := (elems + threads*4 - 1) / (threads * 4)
+	if blocks == 0 {
+		blocks = 1
+	}
+	return gpu.KernelDesc{
+		Name:            "elementwise_" + act.String(),
+		GridBlocks:      blocks,
+		ThreadsPerBlock: threads,
+		RegsPerThread:   32,
+		FLOPs:           (2 + act.FLOPs()) * float64(elems),
+		GlobalLoadB:     float64(elems * dt.Size()), // activation re-read (+bias, negligible)
+		GlobalStoreB:    float64(elems * dt.Size()),
+		OpClass:         gpu.OpClassSIMT,
+		DType:           dt,
+		AlignmentElems:  8,
+		IssueEff:        0.85,
+		MemEff:          0.95,
+	}
+}

@@ -1,0 +1,331 @@
+package cutlass
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// smallConfig is a valid config whose tiles are small enough for quick
+// functional tests.
+func smallConfig() GemmConfig {
+	return GemmConfig{
+		TB:     Shape3{64, 64, 32},
+		Warp:   Shape3{32, 32, 32},
+		Inst:   Shape3{16, 8, 8},
+		Stages: 2, SwizzleLog: 1,
+		AlignA: 8, AlignB: 8, AlignC: 8,
+		Op: gpu.OpClassTensorOp, DType: tensor.FP16,
+	}
+}
+
+func randMat(t *testing.T, seed int64, r, c int) *tensor.Tensor {
+	t.Helper()
+	m := tensor.New(tensor.FP16, r, c)
+	m.FillRandom(seed, 1)
+	return m
+}
+
+func TestGemmMatchesReference(t *testing.T) {
+	d := gpu.T4()
+	g, err := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randMat(t, 1, 48, 64)
+	b := randMat(t, 2, 64, 32)
+	got := g.Run(a, b, nil)
+	want := ReferenceGemm(a, b, nil, DefaultEpilogue())
+	if !tensor.AllClose(got, want, 1e-2, 1e-3) {
+		t.Errorf("gemm deviates from reference: max diff %g", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestGemmBiasActivationEpilogues(t *testing.T) {
+	d := gpu.T4()
+	a := randMat(t, 3, 32, 40)
+	b := randMat(t, 4, 40, 24)
+	bias := randMat(t, 5, 1, 24)
+	bias = tensor.Reshape(bias, 24)
+	for _, act := range []Activation{ActIdentity, ActReLU, ActGELU, ActHardswish, ActSoftplus, ActSigmoid} {
+		epi := BiasActivation(act)
+		g, err := NewGemm(smallConfig(), epi, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := g.Run(a, b, bias)
+		want := ReferenceGemm(a, b, bias, epi)
+		if !tensor.AllClose(got, want, 1e-2, 1e-3) {
+			t.Errorf("%s epilogue deviates: max diff %g", act, tensor.MaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestGemmBetaMatrix(t *testing.T) {
+	d := gpu.T4()
+	epi := Epilogue{Alpha: 0.5, Beta: 2, OutDType: tensor.FP16}
+	g, err := NewGemm(smallConfig(), epi, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randMat(t, 6, 16, 32)
+	b := randMat(t, 7, 32, 16)
+	c := randMat(t, 8, 16, 16)
+	got := g.Run(a, b, c)
+	want := ReferenceGemm(a, b, c, epi)
+	if !tensor.AllClose(got, want, 1e-2, 1e-3) {
+		t.Errorf("alpha/beta epilogue deviates: %g", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestGemmColumnReduction(t *testing.T) {
+	d := gpu.T4()
+	epi := DefaultEpilogue()
+	epi.ReduceColumns = true
+	g, err := NewGemm(smallConfig(), epi, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randMat(t, 9, 24, 16)
+	b := randMat(t, 10, 16, 8)
+	out, red := g.RunWithReduction(a, b, nil)
+	if red == nil {
+		t.Fatal("reduction requested but nil returned")
+	}
+	for j := 0; j < 8; j++ {
+		sum := float32(0)
+		for i := 0; i < 24; i++ {
+			sum += out.At(i, j)
+		}
+		if math.Abs(float64(sum-red.At(j))) > 1e-3 {
+			t.Errorf("column %d reduction %g != %g", j, red.At(j), sum)
+		}
+	}
+	// Without the flag no reduction is produced.
+	g2, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	if _, r := g2.RunWithReduction(a, b, nil); r != nil {
+		t.Error("unexpected reduction tensor")
+	}
+}
+
+func TestGemmFP32Output(t *testing.T) {
+	d := gpu.T4()
+	epi := DefaultEpilogue()
+	epi.OutDType = tensor.FP32
+	g, err := NewGemm(smallConfig(), epi, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randMat(t, 11, 16, 16)
+	b := randMat(t, 12, 16, 16)
+	out := g.Run(a, b, nil)
+	if out.DType() != tensor.FP32 {
+		t.Error("output dtype conversion not honored")
+	}
+}
+
+func TestGemmShapePanics(t *testing.T) {
+	d := gpu.T4()
+	g, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	a := randMat(t, 13, 16, 32)
+	bBad := randMat(t, 14, 16, 16) // K mismatch
+	expectPanic("k mismatch", func() { g.Run(a, bBad, nil) })
+	bUnaligned := randMat(t, 15, 32, 15) // N=15 violates align 8
+	expectPanic("alignment", func() { g.Run(a, bUnaligned, nil) })
+	biasBad := randMat(t, 16, 1, 7)
+	bOK := randMat(t, 17, 32, 16)
+	gb, _ := NewGemm(smallConfig(), BiasActivation(ActReLU), d)
+	expectPanic("bias length", func() { gb.Run(a, bOK, tensor.Reshape(biasBad, 7)) })
+}
+
+func TestDescResources(t *testing.T) {
+	d := gpu.T4()
+	g, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	k := g.Desc(d, 1024, 1024, 512)
+	if k.GridBlocks != 16*16 {
+		t.Errorf("grid = %d, want 256", k.GridBlocks)
+	}
+	if k.ThreadsPerBlock != 128 {
+		t.Errorf("threads = %d", k.ThreadsPerBlock)
+	}
+	if k.FLOPs < 2*1024*1024*512 {
+		t.Error("FLOPs must include the main loop")
+	}
+	if k.OpClass != gpu.OpClassTensorOp || k.DType != tensor.FP16 || k.AlignmentElems != 8 {
+		t.Error("desc metadata wrong")
+	}
+}
+
+func TestBiggerTilesWinOnBigGemm(t *testing.T) {
+	d := gpu.T4()
+	big, _ := NewGemm(stdConfig(), DefaultEpilogue(), d)
+	small, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	m, n, k := 4096, 4096, 4096
+	if big.Time(d, m, n, k) >= small.Time(d, m, n, k) {
+		t.Error("128x128 tiles should beat 64x64 on a huge GEMM")
+	}
+}
+
+func TestSmallTilesWinOnSmallGemm(t *testing.T) {
+	d := gpu.T4()
+	big, _ := NewGemm(stdConfig(), DefaultEpilogue(), d)
+	small, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	// 256x256: only 4 big tiles -> SM starvation.
+	if small.Time(d, 256, 256, 1024) >= big.Time(d, 256, 256, 1024) {
+		t.Error("small tiles should win on a small GEMM (wave quantization)")
+	}
+}
+
+func TestA100NearPeak(t *testing.T) {
+	// Paper §3.2.3: generated FP16 GEMM reaches 300+ TFLOPS on A100,
+	// >95% of the 312 TFLOPS limit. Our model must reproduce that for
+	// a large, well-tiled GEMM.
+	d := gpu.A100()
+	cfg := GemmConfig{
+		TB:     Shape3{256, 128, 32},
+		Warp:   Shape3{64, 64, 32},
+		Inst:   Shape3{16, 8, 16},
+		Stages: 3, SwizzleLog: 2,
+		AlignA: 8, AlignB: 8, AlignC: 8,
+		Op: gpu.OpClassTensorOp, DType: tensor.FP16,
+	}
+	g, err := NewGemm(cfg, DefaultEpilogue(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, n, k := 8192, 8192, 8192
+	tflops := 2 * float64(m) * float64(n) * float64(k) / g.Time(d, m, n, k) / 1e12
+	if tflops < 0.90*312 {
+		t.Errorf("A100 big GEMM achieves %.0f TFLOPS, want >= 90%% of 312", tflops)
+	}
+	if tflops > 312 {
+		t.Errorf("achieved %.0f TFLOPS exceeds hardware peak", tflops)
+	}
+}
+
+func TestElementwiseDescIsMemoryBound(t *testing.T) {
+	d := gpu.T4()
+	k := ElementwiseDesc(d, 1280*3072, ActGELU, tensor.FP16)
+	bd := d.Breakdown(k)
+	if bd.Memory <= bd.Compute {
+		t.Errorf("elementwise kernel should be memory bound: %+v", bd)
+	}
+}
+
+// Property: GEMM is linear in A — gemm(a1+a2, b) == gemm(a1,b)+gemm(a2,b)
+// within FP16 tolerance.
+func TestGemmLinearityProperty(t *testing.T) {
+	d := gpu.T4()
+	g, _ := NewGemm(smallConfig(), Epilogue{Alpha: 1, OutDType: tensor.FP32}, d)
+	f := func(seed int64) bool {
+		a1 := tensor.New(tensor.FP16, 8, 16)
+		a2 := tensor.New(tensor.FP16, 8, 16)
+		b := tensor.New(tensor.FP16, 16, 8)
+		a1.FillRandom(seed, 0.5)
+		a2.FillRandom(seed+1, 0.5)
+		b.FillRandom(seed+2, 0.5)
+		sum := a1.Clone()
+		for i, v := range a2.Data() {
+			sum.Data()[i] += v
+		}
+		sum.Quantize()
+		d1 := g.Run(a1, b, nil)
+		d2 := g.Run(a2, b, nil)
+		ds := g.Run(sum, b, nil)
+		for i := range ds.Data() {
+			if math.Abs(float64(ds.Data()[i]-(d1.Data()[i]+d2.Data()[i]))) > 0.05 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: identity weights make GEMM a copy.
+func TestGemmIdentityProperty(t *testing.T) {
+	d := gpu.T4()
+	g, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	eye := tensor.New(tensor.FP16, 16, 16)
+	for i := 0; i < 16; i++ {
+		eye.Set(1, i, i)
+	}
+	a := randMat(t, 20, 24, 16)
+	out := g.Run(a, eye, nil)
+	if tensor.MaxAbsDiff(out, a) != 0 {
+		t.Error("A x I != A")
+	}
+}
+
+func TestActivationFunctions(t *testing.T) {
+	cases := []struct {
+		act  Activation
+		x    float32
+		want float64
+		tol  float64
+	}{
+		{ActReLU, -1, 0, 0},
+		{ActReLU, 2, 2, 0},
+		{ActGELU, 0, 0, 1e-6},
+		{ActGELU, 100, 100, 1e-3},
+		{ActHardswish, -4, 0, 0},
+		{ActHardswish, 4, 4, 0},
+		{ActHardswish, 0, 0, 0},
+		{ActHardswish, 1, 1.0 * 4 / 6, 1e-6},
+		{ActSoftplus, 0, math.Log(2), 1e-6},
+		{ActSoftplus, 30, 30, 1e-4},
+		{ActSigmoid, 0, 0.5, 1e-6},
+		{ActIdentity, -7.5, -7.5, 0},
+	}
+	for _, c := range cases {
+		if got := c.act.Apply(c.x); math.Abs(float64(got)-c.want) > c.tol {
+			t.Errorf("%s(%g) = %g, want %g", c.act, c.x, got, c.want)
+		}
+	}
+}
+
+func TestGELUMonotoneNearOrigin(t *testing.T) {
+	prev := ActGELU.Apply(-3)
+	for x := float32(-2.9); x < 3; x += 0.1 {
+		cur := ActGELU.Apply(x)
+		if cur < prev-0.02 {
+			t.Fatalf("GELU decreased sharply at %g", x)
+		}
+		prev = cur
+	}
+}
+
+func BenchmarkFunctionalGemm128(b *testing.B) {
+	d := gpu.T4()
+	g, _ := NewGemm(smallConfig(), DefaultEpilogue(), d)
+	a := tensor.New(tensor.FP16, 128, 128)
+	bb := tensor.New(tensor.FP16, 128, 128)
+	a.FillRandom(1, 1)
+	bb.FillRandom(2, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Run(a, bb, nil)
+	}
+}
+
+func BenchmarkDescPricing(b *testing.B) {
+	d := gpu.T4()
+	g, _ := NewGemm(stdConfig(), DefaultEpilogue(), d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Time(d, 1280, 3072, 768)
+	}
+}

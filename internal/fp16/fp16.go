@@ -1,0 +1,214 @@
+// Package fp16 implements IEEE 754 binary16 (half precision) arithmetic
+// in software.
+//
+// Bolt's evaluation runs entirely in FP16 on tensor cores; this package
+// is the numeric substrate that stands in for the GPU's native half
+// type. Values are stored as raw uint16 bit patterns (type Float16) and
+// converted to float32 for arithmetic, exactly as CUDA device code
+// promotes __half to float inside the MMA pipeline's FP32 accumulators.
+package fp16
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value stored as its raw bit pattern:
+// 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+type Float16 uint16
+
+// Useful constants.
+const (
+	// PositiveInfinity is the binary16 +Inf bit pattern.
+	PositiveInfinity Float16 = 0x7C00
+	// NegativeInfinity is the binary16 -Inf bit pattern.
+	NegativeInfinity Float16 = 0xFC00
+	// NaN is a canonical binary16 quiet NaN.
+	NaN Float16 = 0x7E00
+	// MaxValue is the largest finite binary16 value, 65504.
+	MaxValue Float16 = 0x7BFF
+	// SmallestNormal is the smallest positive normal value, 2^-14.
+	SmallestNormal Float16 = 0x0400
+	// SmallestSubnormal is the smallest positive subnormal value, 2^-24.
+	SmallestSubnormal Float16 = 0x0001
+	// One is the binary16 encoding of 1.0.
+	One Float16 = 0x3C00
+	// Zero is positive zero.
+	Zero Float16 = 0x0000
+)
+
+// FromFloat32 converts a float32 to binary16 using round-to-nearest-even,
+// the rounding mode used by CUDA's __float2half_rn and by tensor-core
+// stores. Overflow produces infinity; underflow produces (possibly
+// subnormal) small values or zero.
+func FromFloat32(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16((bits >> 16) & 0x8000)
+	exp := int32((bits>>23)&0xFF) - 127
+	mant := bits & 0x7FFFFF
+
+	switch {
+	case exp == 128: // Inf or NaN
+		if mant != 0 {
+			// Preserve NaN-ness; set a quiet-bit mantissa.
+			return Float16(sign | 0x7E00)
+		}
+		return Float16(sign | 0x7C00)
+	case exp > 15: // overflow -> Inf
+		return Float16(sign | 0x7C00)
+	case exp >= -14: // normal range
+		// 10-bit mantissa; round to nearest even on the 13 dropped bits.
+		m := mant >> 13
+		round := mant & 0x1FFF
+		if round > 0x1000 || (round == 0x1000 && m&1 == 1) {
+			m++
+			if m == 0x400 { // mantissa overflow -> bump exponent
+				m = 0
+				exp++
+				if exp > 15 {
+					return Float16(sign | 0x7C00)
+				}
+			}
+		}
+		return Float16(sign | uint16(exp+15)<<10 | uint16(m))
+	case exp >= -24: // subnormal range
+		// Shift the implicit leading 1 into the mantissa.
+		mant |= 0x800000
+		shift := uint32(-exp - 14 + 13) // 13 base bits + denormalization
+		m := mant >> shift
+		// Round to nearest even on the dropped bits.
+		dropped := mant & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if dropped > half || (dropped == half && m&1 == 1) {
+			m++
+			// A subnormal rounding up to 0x400 becomes the smallest
+			// normal; the encoding below handles it transparently
+			// because 0x400 sets the exponent field to 1.
+		}
+		return Float16(sign | uint16(m))
+	default: // underflow to zero
+		return Float16(sign)
+	}
+}
+
+// ToFloat32 converts a binary16 value to float32 exactly (binary16 is a
+// subset of binary32, so this conversion is lossless).
+func ToFloat32(h Float16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1F
+	mant := uint32(h & 0x3FF)
+
+	switch exp {
+	case 0:
+		if mant == 0 { // signed zero
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize into binary32.
+		e := int32(-14)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3FF
+		return math.Float32frombits(sign | uint32(e+127)<<23 | mant<<13)
+	case 0x1F:
+		if mant == 0 { // infinity
+			return math.Float32frombits(sign | 0x7F800000)
+		}
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13 | 0x400000)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | mant<<13)
+	}
+}
+
+// FromFloat64 converts a float64 to binary16 (via float32, rounding twice;
+// the double rounding is harmless for our value ranges and matches how
+// host code typically produces half data).
+func FromFloat64(f float64) Float16 { return FromFloat32(float32(f)) }
+
+// ToFloat64 converts a binary16 value to float64 exactly.
+func ToFloat64(h Float16) float64 { return float64(ToFloat32(h)) }
+
+// IsNaN reports whether h encodes a NaN.
+func IsNaN(h Float16) bool { return h&0x7C00 == 0x7C00 && h&0x3FF != 0 }
+
+// IsInf reports whether h is an infinity. sign > 0 restricts to +Inf,
+// sign < 0 to -Inf, and sign == 0 matches either.
+func IsInf(h Float16, sign int) bool {
+	if h&0x7FFF != 0x7C00 {
+		return false
+	}
+	neg := h&0x8000 != 0
+	return sign == 0 || (sign > 0 && !neg) || (sign < 0 && neg)
+}
+
+// IsFinite reports whether h is neither infinite nor NaN.
+func IsFinite(h Float16) bool { return h&0x7C00 != 0x7C00 }
+
+// Neg returns h with its sign flipped (including for zero, Inf, NaN).
+func Neg(h Float16) Float16 { return h ^ 0x8000 }
+
+// Abs returns h with the sign bit cleared.
+func Abs(h Float16) Float16 { return h &^ 0x8000 }
+
+// Add returns the binary16 sum a+b, computed in float32 and rounded once.
+func Add(a, b Float16) Float16 { return FromFloat32(ToFloat32(a) + ToFloat32(b)) }
+
+// Sub returns the binary16 difference a-b.
+func Sub(a, b Float16) Float16 { return FromFloat32(ToFloat32(a) - ToFloat32(b)) }
+
+// Mul returns the binary16 product a*b.
+func Mul(a, b Float16) Float16 { return FromFloat32(ToFloat32(a) * ToFloat32(b)) }
+
+// Div returns the binary16 quotient a/b.
+func Div(a, b Float16) Float16 { return FromFloat32(ToFloat32(a) / ToFloat32(b)) }
+
+// FMA returns a*b+c with a single final rounding, mirroring the HFMA2
+// behaviour of accumulating in higher precision before the half store.
+func FMA(a, b, c Float16) Float16 {
+	return FromFloat32(float32(float64(ToFloat32(a))*float64(ToFloat32(b)) + float64(ToFloat32(c))))
+}
+
+// Less reports a < b under IEEE ordering (NaN compares false).
+func Less(a, b Float16) bool { return ToFloat32(a) < ToFloat32(b) }
+
+// Equal reports a == b under IEEE semantics (+0 == -0; NaN != NaN).
+func Equal(a, b Float16) bool { return ToFloat32(a) == ToFloat32(b) }
+
+// EncodeSlice converts a []float32 into freshly allocated binary16 values.
+func EncodeSlice(src []float32) []Float16 {
+	dst := make([]Float16, len(src))
+	for i, f := range src {
+		dst[i] = FromFloat32(f)
+	}
+	return dst
+}
+
+// DecodeSlice converts binary16 values into freshly allocated float32s.
+func DecodeSlice(src []Float16) []float32 {
+	dst := make([]float32, len(src))
+	for i, h := range src {
+		dst[i] = ToFloat32(h)
+	}
+	return dst
+}
+
+// Quantize rounds every element of src through binary16 in place,
+// emulating a store-to-half/load-from-half round trip.
+func Quantize(src []float32) {
+	for i, f := range src {
+		src[i] = ToFloat32(FromFloat32(f))
+	}
+}
+
+// Ulp returns the distance between h and the next representable value
+// away from zero, as a float64. Useful for tolerance computation in
+// numeric tests.
+func Ulp(h Float16) float64 {
+	if !IsFinite(h) {
+		return math.Inf(1)
+	}
+	a := Abs(h)
+	next := a + 1
+	if next&0x7C00 == 0x7C00 { // stepped into Inf
+		return ToFloat64(MaxValue) - ToFloat64(a-1)
+	}
+	return ToFloat64(next) - ToFloat64(a)
+}

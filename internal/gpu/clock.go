@@ -1,0 +1,85 @@
+package gpu
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is a simulated wall clock. Tuners charge it for compilation,
+// kernel measurement, and search bookkeeping so that "tuning time"
+// (the paper's Figure 10b) can be reported without actually burning
+// hours: the simulator executes in microseconds but the clock records
+// what the same work would have cost on the real testbed.
+type Clock struct {
+	elapsed float64 // seconds
+}
+
+// Advance adds dt seconds (negative values are ignored).
+func (c *Clock) Advance(dt float64) {
+	if dt > 0 {
+		c.elapsed += dt
+	}
+}
+
+// Elapsed returns the accumulated simulated seconds.
+func (c *Clock) Elapsed() float64 { return c.elapsed }
+
+// ElapsedDuration returns the accumulated time as a time.Duration.
+func (c *Clock) ElapsedDuration() time.Duration {
+	return time.Duration(c.elapsed * float64(time.Second))
+}
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.elapsed = 0 }
+
+// MeasureOptions configures a simulated on-device measurement.
+type MeasureOptions struct {
+	// Repeats is the number of timed runs averaged together.
+	Repeats int
+	// Warmup runs are executed (and charged to the clock) but not timed.
+	Warmup int
+	// NoiseStdDev is the relative standard deviation of per-run jitter.
+	NoiseStdDev float64
+}
+
+// DefaultMeasure matches the evaluation methodology in the paper's
+// microbenchmarks (1000 timed runs after warmup).
+func DefaultMeasure() MeasureOptions {
+	return MeasureOptions{Repeats: 1000, Warmup: 10, NoiseStdDev: 0.015}
+}
+
+// QuickMeasure is the cheaper setting tuners use per candidate.
+func QuickMeasure() MeasureOptions {
+	return MeasureOptions{Repeats: 3, Warmup: 1, NoiseStdDev: 0.03}
+}
+
+// Measure simulates timing kernel k on device d: it perturbs the model
+// time with multiplicative Gaussian noise per repeat, charges the full
+// cost of all runs to clock (if non-nil), and returns the mean observed
+// time in seconds. rng may be nil for a noiseless measurement.
+func Measure(d *Device, k KernelDesc, opts MeasureOptions, rng *rand.Rand, clock *Clock) float64 {
+	base := d.KernelTime(k)
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	total := 0.0
+	for i := 0; i < opts.Warmup; i++ {
+		if clock != nil {
+			clock.Advance(base)
+		}
+	}
+	for i := 0; i < opts.Repeats; i++ {
+		t := base
+		if rng != nil && opts.NoiseStdDev > 0 {
+			t *= 1 + rng.NormFloat64()*opts.NoiseStdDev
+			if t < 0.2*base {
+				t = 0.2 * base
+			}
+		}
+		total += t
+		if clock != nil {
+			clock.Advance(t)
+		}
+	}
+	return total / float64(opts.Repeats)
+}

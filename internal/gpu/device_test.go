@@ -1,0 +1,289 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bolt/internal/tensor"
+)
+
+func gemmDesc(tbM, tbN int, m, n, k int) KernelDesc {
+	return KernelDesc{
+		Name:            "test_gemm",
+		GridBlocks:      ((m + tbM - 1) / tbM) * ((n + tbN - 1) / tbN),
+		ThreadsPerBlock: 128,
+		RegsPerThread:   128,
+		SharedMemBytes:  48 << 10,
+		FLOPs:           2 * float64(m) * float64(n) * float64(k),
+		GlobalLoadB:     float64(m*k+k*n) * 2,
+		GlobalStoreB:    float64(m*n) * 2,
+		OpClass:         OpClassTensorOp,
+		DType:           tensor.FP16,
+		AlignmentElems:  8,
+		IssueEff:        0.85,
+		MemEff:          0.9,
+	}
+}
+
+func TestDeviceSpecs(t *testing.T) {
+	d := T4()
+	if d.Arch != SM75 || d.SMs != 40 {
+		t.Error("T4 spec wrong")
+	}
+	if d.Arch.String() != "sm_75" {
+		t.Errorf("Arch.String = %q", d.Arch.String())
+	}
+	a := A100()
+	if a.Arch != SM80 || a.TensorFP16 != 312 {
+		t.Error("A100 spec wrong")
+	}
+}
+
+func TestPeakTFLOPS(t *testing.T) {
+	d := T4()
+	if d.PeakTFLOPS(OpClassTensorOp, tensor.FP16) != 65 {
+		t.Error("tensor FP16 peak wrong")
+	}
+	if d.PeakTFLOPS(OpClassSIMT, tensor.FP16) != 16.2 {
+		t.Error("SIMT FP16 peak wrong")
+	}
+	if d.PeakTFLOPS(OpClassSIMT, tensor.FP32) != 8.1 {
+		t.Error("SIMT FP32 peak wrong")
+	}
+	// No FP32 tensor cores on Turing: falls back to SIMT rate.
+	if d.PeakTFLOPS(OpClassTensorOp, tensor.FP32) != 8.1 {
+		t.Error("FP32 TensorOp should fall back to SIMT")
+	}
+	if d.PeakTFLOPS(OpClassTensorOp, tensor.INT8) != 130 {
+		t.Error("tensor INT8 peak wrong")
+	}
+	if d.PeakTFLOPS(OpClassSIMT, tensor.INT8) != 4*8.1 {
+		t.Error("SIMT INT8 (dp4a) peak wrong")
+	}
+}
+
+func TestOccupancyLimiters(t *testing.T) {
+	d := T4()
+
+	// Small kernel: limited by max blocks.
+	k := KernelDesc{ThreadsPerBlock: 64, RegsPerThread: 16, SharedMemBytes: 0}
+	occ := d.Occupancy(k)
+	if occ.Limiter != "blocks" || occ.BlocksPerSM != 16 {
+		t.Errorf("expected blocks-limited 16, got %+v", occ)
+	}
+
+	// Register-limited: 255 regs/thread * 256 threads = 65280 regs/block.
+	k = KernelDesc{ThreadsPerBlock: 256, RegsPerThread: 255}
+	occ = d.Occupancy(k)
+	if occ.Limiter != "registers" || occ.BlocksPerSM != 1 {
+		t.Errorf("expected registers-limited 1, got %+v", occ)
+	}
+
+	// SMEM-limited: 33 KB/block -> 1 block per 64 KB SM.
+	k = KernelDesc{ThreadsPerBlock: 128, RegsPerThread: 32, SharedMemBytes: 33 << 10}
+	occ = d.Occupancy(k)
+	if occ.Limiter != "smem" || occ.BlocksPerSM != 1 {
+		t.Errorf("expected smem-limited 1, got %+v", occ)
+	}
+
+	// Warp-limited: 1024 threads = 32 warps = all warps in one block.
+	k = KernelDesc{ThreadsPerBlock: 1024, RegsPerThread: 32}
+	occ = d.Occupancy(k)
+	if occ.WarpsPerSM != 32 || occ.Fraction != 1.0 {
+		t.Errorf("expected full occupancy, got %+v", occ)
+	}
+
+	// Oversubscribed: cannot fit at all.
+	k = KernelDesc{ThreadsPerBlock: 256, RegsPerThread: 255, SharedMemBytes: 70 << 10}
+	occ = d.Occupancy(k)
+	if occ.BlocksPerSM != 0 {
+		t.Errorf("expected zero occupancy, got %+v", occ)
+	}
+}
+
+func TestKernelTimeComputeBound(t *testing.T) {
+	d := T4()
+	// Big square GEMM is compute bound on tensor cores.
+	k := gemmDesc(128, 128, 2048, 2048, 2048)
+	bd := d.Breakdown(k)
+	if bd.Compute <= bd.Memory {
+		t.Errorf("2048^3 GEMM should be compute bound: %+v", bd)
+	}
+	// Achieved TFLOPS should be a plausible fraction of tensor peak.
+	tflops := k.FLOPs / d.KernelTime(k) / 1e12
+	if tflops < 20 || tflops > 65 {
+		t.Errorf("achieved %f TFLOPS implausible for T4 FP16", tflops)
+	}
+}
+
+func TestKernelTimeMemoryBound(t *testing.T) {
+	d := T4()
+	// Skinny GEMM: M=32 — memory bound.
+	k := gemmDesc(32, 128, 32, 768, 768)
+	bd := d.Breakdown(k)
+	if bd.Memory <= bd.Compute {
+		t.Errorf("skinny GEMM should be memory bound: %+v", bd)
+	}
+}
+
+func TestTensorCoreSpeedup(t *testing.T) {
+	d := T4()
+	tc := gemmDesc(128, 128, 2048, 2048, 2048)
+	simt := tc
+	simt.OpClass = OpClassSIMT
+	ratio := d.KernelTime(simt) / d.KernelTime(tc)
+	// Tensor cores are 4x the HFMA2 rate; with equal efficiencies the
+	// time ratio should reflect that.
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("tensor core speedup = %f, want ~4x", ratio)
+	}
+}
+
+func TestAlignmentPenalty(t *testing.T) {
+	d := T4()
+	aligned := gemmDesc(64, 64, 32, 768, 768) // memory bound
+	unaligned := aligned
+	unaligned.AlignmentElems = 2
+	ratio := d.KernelTime(unaligned) / d.KernelTime(aligned)
+	if ratio < 1.3 || ratio > 2.5 {
+		t.Errorf("alignment-2 penalty = %f, want 1.3-2.5x on memory-bound kernel", ratio)
+	}
+	// Alignment must not matter for a purely compute-bound kernel.
+	big := gemmDesc(128, 128, 4096, 4096, 4096)
+	bigUnaligned := big
+	bigUnaligned.AlignmentElems = 2
+	r2 := d.KernelTime(bigUnaligned) / d.KernelTime(big)
+	if r2 > 1.05 {
+		t.Errorf("alignment should not slow compute-bound kernel: ratio %f", r2)
+	}
+}
+
+func TestWaveQuantization(t *testing.T) {
+	d := T4()
+	// Tiny grid: most SMs idle -> large threadblocks hurt.
+	small := gemmDesc(256, 128, 256, 128, 4096) // 1 block
+	smaller := gemmDesc(64, 32, 256, 128, 4096) // 16 blocks
+	if d.KernelTime(smaller) >= d.KernelTime(small) {
+		t.Error("splitting a tiny grid into more blocks should help occupancy")
+	}
+}
+
+func TestLaunchOverheadDominatesShortKernels(t *testing.T) {
+	d := T4()
+	k := gemmDesc(16, 16, 16, 16, 16)
+	total := d.KernelTime(k)
+	if total < d.LaunchUs*1e-6 {
+		t.Error("kernel cannot be faster than launch overhead")
+	}
+	if (total-d.LaunchUs*1e-6)/total > 0.5 {
+		t.Error("tiny kernel should be launch-overhead dominated")
+	}
+}
+
+func TestZeroOccupancyIsInf(t *testing.T) {
+	d := T4()
+	k := gemmDesc(128, 128, 1024, 1024, 1024)
+	k.SharedMemBytes = 100 << 10
+	if !math.IsInf(d.KernelTime(k), 1) {
+		t.Error("unlaunchable kernel should price as +Inf")
+	}
+}
+
+func TestSMEMTrafficCost(t *testing.T) {
+	d := T4()
+	base := gemmDesc(128, 128, 4096, 1024, 64)
+	withSMEM := base
+	withSMEM.SMEMTrafficB = 4 * base.GlobalStoreB
+	if d.KernelTime(withSMEM) <= d.KernelTime(base) {
+		t.Error("SMEM staging should add time")
+	}
+	conflicted := withSMEM
+	conflicted.BankConflictWays = 4
+	if d.KernelTime(conflicted) <= d.KernelTime(withSMEM) {
+		t.Error("bank conflicts should add time")
+	}
+}
+
+func TestBreakdownConsistency(t *testing.T) {
+	d := T4()
+	k := gemmDesc(128, 128, 1280, 3072, 768)
+	bd := d.Breakdown(k)
+	want := d.KernelTime(k)
+	if math.Abs(bd.Total-want)/want > 1e-9 {
+		t.Errorf("Breakdown.Total %g != KernelTime %g", bd.Total, want)
+	}
+}
+
+func TestVectorEffOrdering(t *testing.T) {
+	v8 := vectorEff(8, tensor.FP16)
+	v4 := vectorEff(4, tensor.FP16)
+	v2 := vectorEff(2, tensor.FP16)
+	v1 := vectorEff(1, tensor.FP16)
+	if !(v8 > v4 && v4 > v2 && v2 > v1) {
+		t.Errorf("vector efficiency must be monotone: %f %f %f %f", v8, v4, v2, v1)
+	}
+	if v8 != 1.0 {
+		t.Error("128-bit access should be full bandwidth")
+	}
+	// FP32 alignment 4 = 128 bits = full efficiency.
+	if vectorEff(4, tensor.FP32) != 1.0 {
+		t.Error("FP32 alignment 4 is 128-bit")
+	}
+}
+
+func TestLatencyHiding(t *testing.T) {
+	if latencyHidingEff(8) != 1 || latencyHidingEff(32) != 1 {
+		t.Error("8+ warps should fully hide latency")
+	}
+	if !(latencyHidingEff(1) < latencyHidingEff(4) && latencyHidingEff(4) < 1) {
+		t.Error("latency hiding must increase with warps")
+	}
+	if latencyHidingEff(0) <= 0 {
+		t.Error("zero warps must still be positive to avoid div by zero")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(0.5)
+	c.Advance(-3) // ignored
+	if c.Elapsed() != 2 {
+		t.Errorf("Elapsed = %f, want 2", c.Elapsed())
+	}
+	if c.ElapsedDuration().Seconds() != 2 {
+		t.Error("ElapsedDuration wrong")
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestMeasureChargesClock(t *testing.T) {
+	d := T4()
+	k := gemmDesc(128, 128, 1024, 1024, 1024)
+	base := d.KernelTime(k)
+	var clock Clock
+	opts := MeasureOptions{Repeats: 10, Warmup: 2, NoiseStdDev: 0}
+	mean := Measure(d, k, opts, nil, &clock)
+	if math.Abs(mean-base) > 1e-12 {
+		t.Errorf("noiseless mean %g != base %g", mean, base)
+	}
+	want := base * 12 // 10 repeats + 2 warmup
+	if math.Abs(clock.Elapsed()-want)/want > 1e-9 {
+		t.Errorf("clock charged %g, want %g", clock.Elapsed(), want)
+	}
+}
+
+func TestMeasureNoiseIsBounded(t *testing.T) {
+	d := T4()
+	k := gemmDesc(128, 128, 1024, 1024, 1024)
+	base := d.KernelTime(k)
+	rng := rand.New(rand.NewSource(11))
+	mean := Measure(d, k, MeasureOptions{Repeats: 500, NoiseStdDev: 0.02}, rng, nil)
+	if math.Abs(mean-base)/base > 0.01 {
+		t.Errorf("mean of 500 noisy runs %g strays >1%% from base %g", mean, base)
+	}
+}

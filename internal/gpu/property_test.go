@@ -1,0 +1,149 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bolt/internal/tensor"
+)
+
+// randDesc draws a random but structurally sane kernel descriptor.
+func randDesc(rng *rand.Rand) KernelDesc {
+	threads := 32 * (1 + rng.Intn(8))
+	return KernelDesc{
+		Name:            "prop",
+		GridBlocks:      1 + rng.Intn(4096),
+		ThreadsPerBlock: threads,
+		RegsPerThread:   16 + rng.Intn(64),
+		SharedMemBytes:  (1 + rng.Intn(24)) << 10,
+		FLOPs:           float64(1+rng.Intn(1<<20)) * 1024,
+		GlobalLoadB:     float64(1+rng.Intn(1<<20)) * 16,
+		GlobalStoreB:    float64(1+rng.Intn(1<<18)) * 16,
+		OpClass:         OpClass(rng.Intn(2)),
+		DType:           tensor.FP16,
+		AlignmentElems:  []int{1, 2, 4, 8}[rng.Intn(4)],
+		IssueEff:        0.3 + 0.7*rng.Float64(),
+		MemEff:          0.3 + 0.7*rng.Float64(),
+	}
+}
+
+// Property: kernel time is strictly positive and finite for launchable
+// kernels, and at least the launch overhead.
+func TestTimePositiveProperty(t *testing.T) {
+	d := T4()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		k := randDesc(rng)
+		tm := d.KernelTime(k)
+		if math.IsNaN(tm) || tm < d.LaunchUs*1e-6 {
+			t.Fatalf("time %g invalid for %+v", tm, k)
+		}
+	}
+}
+
+// Property: adding FLOPs never makes a kernel faster.
+func TestMonotoneInFlopsProperty(t *testing.T) {
+	d := T4()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		k := randDesc(rng)
+		t1 := d.KernelTime(k)
+		k2 := k
+		k2.FLOPs *= 1 + rng.Float64()
+		if d.KernelTime(k2) < t1-1e-15 {
+			t.Fatalf("more FLOPs made kernel faster: %+v", k)
+		}
+	}
+}
+
+// Property: adding memory traffic never makes a kernel faster.
+func TestMonotoneInBytesProperty(t *testing.T) {
+	d := T4()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		k := randDesc(rng)
+		t1 := d.KernelTime(k)
+		k2 := k
+		k2.GlobalLoadB *= 1 + rng.Float64()
+		k2.GlobalStoreB *= 1 + rng.Float64()
+		if d.KernelTime(k2) < t1-1e-15 {
+			t.Fatalf("more bytes made kernel faster: %+v", k)
+		}
+	}
+}
+
+// Property: wider alignment never hurts.
+func TestMonotoneInAlignmentProperty(t *testing.T) {
+	d := T4()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		k := randDesc(rng)
+		k.AlignmentElems = 2
+		t2 := d.KernelTime(k)
+		k.AlignmentElems = 8
+		t8 := d.KernelTime(k)
+		if t8 > t2+1e-15 {
+			t.Fatalf("alignment 8 slower than 2: %+v", k)
+		}
+	}
+}
+
+// Property: occupancy never exceeds device limits and the limiter is
+// always one of the known resources.
+func TestOccupancyBoundsProperty(t *testing.T) {
+	d := T4()
+	f := func(threads8, regs, smemKB uint8) bool {
+		k := KernelDesc{
+			ThreadsPerBlock: 32 * (1 + int(threads8)%32),
+			RegsPerThread:   1 + int(regs),
+			SharedMemBytes:  int(smemKB) << 10,
+		}
+		occ := d.Occupancy(k)
+		if occ.WarpsPerSM > d.MaxWarps || occ.BlocksPerSM > d.MaxBlocks {
+			return false
+		}
+		if occ.BlocksPerSM > 0 {
+			if occ.BlocksPerSM*k.ThreadsPerBlock > d.MaxThreads {
+				return false
+			}
+			if occ.BlocksPerSM*k.RegsPerThread*k.ThreadsPerBlock > d.RegistersPerSM {
+				return false
+			}
+			if k.SharedMemBytes > 0 && occ.BlocksPerSM*k.SharedMemBytes > d.SharedMemPerSM {
+				return false
+			}
+		}
+		switch occ.Limiter {
+		case "warps", "blocks", "registers", "smem", "threads":
+		default:
+			return false
+		}
+		return occ.Fraction >= 0 && occ.Fraction <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting a kernel's work across two launches is never
+// cheaper than one launch of the combined kernel (launch overhead
+// makes fusion worthwhile — the premise behind Figure 4).
+func TestFusionBeatsSplitProperty(t *testing.T) {
+	d := T4()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		k := randDesc(rng)
+		full := d.KernelTime(k)
+		half := k
+		half.FLOPs /= 2
+		half.GlobalLoadB /= 2
+		half.GlobalStoreB /= 2
+		half.GridBlocks = (k.GridBlocks + 1) / 2
+		split := 2 * d.KernelTime(half)
+		if split < full-1e-12 {
+			t.Fatalf("two half-launches cheaper than one: %+v", k)
+		}
+	}
+}

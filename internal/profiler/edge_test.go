@@ -1,0 +1,116 @@
+package profiler
+
+import (
+	"sync"
+	"testing"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// TestOddShapes: the profiler must serve unaligned and degenerate
+// problem shapes by falling back to narrower alignments, never
+// erroring on a shape a model could legitimately contain.
+func TestOddShapes(t *testing.T) {
+	p := New(gpu.T4(), nil)
+	shapes := []GemmWorkload{
+		{M: 1, N: 8, K: 8, DType: tensor.FP16},       // single row
+		{M: 7, N: 9, K: 11, DType: tensor.FP16},      // all-odd (alignment 1)
+		{M: 100000, N: 8, K: 8, DType: tensor.FP16},  // extreme aspect
+		{M: 33, N: 1022, K: 62, DType: tensor.FP16},  // alignment 2
+		{M: 4096, N: 4, K: 8192, DType: tensor.FP16}, // skinny N
+	}
+	for _, w := range shapes {
+		res, err := p.ProfileGemm(w)
+		if err != nil {
+			t.Errorf("%s: %v", w, err)
+			continue
+		}
+		if res.Time <= 0 {
+			t.Errorf("%s: non-positive time", w)
+		}
+		if !res.Config.SupportsProblem(w.M, w.N, w.K) {
+			t.Errorf("%s: chosen config cannot run the problem", w)
+		}
+	}
+}
+
+// TestOddAlignmentCandidates: an all-odd shape must use alignment-1
+// kernels and still validate.
+func TestOddAlignmentCandidates(t *testing.T) {
+	p := New(gpu.T4(), nil)
+	for _, c := range p.GemmCandidates(GemmWorkload{M: 7, N: 9, K: 11, DType: tensor.FP16}) {
+		if c.AlignA != 1 || c.AlignB != 1 {
+			t.Fatalf("odd shape got alignment %d/%d", c.AlignA, c.AlignB)
+		}
+	}
+}
+
+// TestConcurrentProfiling: the cache must be safe under concurrent
+// profiling of overlapping workload sets (the compiler profiles tasks
+// from multiple goroutines in principle).
+func TestConcurrentProfiling(t *testing.T) {
+	p := New(gpu.T4(), nil)
+	shapes := []cutlass.ConvShape{
+		cutlass.Conv3x3(8, 28, 28, 64, 64, 1, 1),
+		cutlass.Conv3x3(8, 28, 28, 128, 128, 1, 1),
+		cutlass.Conv1x1(8, 28, 28, 64, 64),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := p.ProfileConv(shapes[i%len(shapes)]); err != nil {
+				errs <- err
+			}
+			if _, err := p.ProfileGemm(GemmWorkload{M: 512, N: 512, K: 512, DType: tensor.FP16}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAmpereCandidates: on sm_80 the candidates must use the Ampere
+// instruction shape and multistage pipelines.
+func TestAmpereCandidates(t *testing.T) {
+	p := New(gpu.A100(), nil)
+	cands := p.GemmCandidates(GemmWorkload{M: 4096, N: 4096, K: 4096, DType: tensor.FP16})
+	if len(cands) == 0 {
+		t.Fatal("no A100 candidates")
+	}
+	for _, c := range cands {
+		if c.Inst != (cutlass.Shape3{M: 16, N: 8, K: 16}) {
+			t.Fatalf("wrong instruction shape %v for sm_80", c.Inst)
+		}
+		if c.Stages < 3 {
+			t.Fatalf("sm_80 candidate with %d stages", c.Stages)
+		}
+	}
+}
+
+// TestDeterministicChoice: with noiseless measurement the profiler
+// must pick the same config every time (reproducible builds).
+func TestDeterministicChoice(t *testing.T) {
+	w := GemmWorkload{M: 1280, N: 768, K: 768, DType: tensor.FP16}
+	var prev *Result
+	for i := 0; i < 3; i++ {
+		p := New(gpu.T4(), nil)
+		p.Measure.NoiseStdDev = 0
+		res, err := p.ProfileGemm(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && res.Config.Name() != prev.Config.Name() {
+			t.Fatalf("profiler not deterministic: %s vs %s", res.Config.Name(), prev.Config.Name())
+		}
+		prev = &res
+	}
+}

@@ -1,0 +1,290 @@
+// Package profiler implements Bolt's light-weight hardware-native
+// performance profiler (paper §3.2.2).
+//
+// Unlike opaque auto-tuners that explore thousands of candidate
+// schedules, the profiler *knows the hardware*: for each GPU
+// architecture it enumerates only tens of template parameter
+// combinations selected by white-box tuning guidelines —
+//
+//   - large warp tiles within register-file capacity (higher
+//     compute-to-memory ratio);
+//   - four or eight warps per threadblock;
+//   - small threadblocks for small problems (launch enough blocks to
+//     keep SMs busy);
+//   - the widest alignment the problem shape divides;
+//
+// then measures each candidate on the device. Sample kernels are
+// generated once per architecture and reused across models and
+// workloads, so per-workload tuning costs seconds, not hours.
+package profiler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// GemmWorkload identifies one GEMM problem.
+type GemmWorkload struct {
+	M, N, K int
+	DType   tensor.DType
+}
+
+// String renders like the paper's workload tables: "(M, N, K)".
+func (w GemmWorkload) String() string { return fmt.Sprintf("(%d, %d, %d)", w.M, w.N, w.K) }
+
+// Result is the outcome of profiling one workload.
+type Result struct {
+	Config cutlass.GemmConfig
+	// Time is the measured kernel time in seconds for the best config.
+	Time float64
+	// Candidates is how many configurations were measured.
+	Candidates int
+}
+
+// Profiler searches template parameters for GEMM and Conv workloads on
+// one device, caching best configurations per workload (the paper's
+// pre-generated, reusable sample programs).
+type Profiler struct {
+	dev   *gpu.Device
+	clock *gpu.Clock
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	gemmCache map[GemmWorkload]Result
+	convCache map[cutlass.ConvShape]Result
+
+	// CompileLatency is the simulated cost of building one sample
+	// program. Bolt pre-generates them per architecture, so this is
+	// charged once per distinct config, not per workload.
+	CompileLatency float64
+	compiled       map[string]bool
+
+	// Measure controls the per-candidate measurement methodology.
+	Measure gpu.MeasureOptions
+}
+
+// New creates a profiler for the device. The clock accumulates
+// simulated tuning time (Figure 10b); pass nil to skip accounting.
+func New(dev *gpu.Device, clock *gpu.Clock) *Profiler {
+	return &Profiler{
+		dev:            dev,
+		clock:          clock,
+		rng:            rand.New(rand.NewSource(7)),
+		gemmCache:      make(map[GemmWorkload]Result),
+		convCache:      make(map[cutlass.ConvShape]Result),
+		CompileLatency: 0.9, // seconds per sample program (nvcc on one template)
+		compiled:       make(map[string]bool),
+		Measure:        gpu.QuickMeasure(),
+	}
+}
+
+// Clock returns the profiler's tuning clock (may be nil).
+func (p *Profiler) Clock() *gpu.Clock { return p.clock }
+
+// alignmentFor returns the widest alignment dividing n.
+func alignmentFor(n int) int {
+	for _, a := range []int{8, 4, 2} {
+		if n%a == 0 {
+			return a
+		}
+	}
+	return 1
+}
+
+// GemmCandidates enumerates the architecture-guided configurations for
+// a GEMM workload: tens of combinations, not thousands.
+func (p *Profiler) GemmCandidates(w GemmWorkload) []cutlass.GemmConfig {
+	inst := cutlass.InstructionShape(p.dev.Arch)
+	alignA := alignmentFor(w.K)
+	alignB := alignmentFor(w.N)
+	alignC := alignmentFor(w.N)
+
+	// Threadblock shapes by problem size class: small problems need
+	// small threadblocks to launch enough blocks (tuning guideline 3).
+	var tbShapes []cutlass.Shape3
+	smallM := w.M <= 512
+	smallN := w.N <= 512
+	switch {
+	case smallM && smallN:
+		tbShapes = []cutlass.Shape3{{M: 32, N: 32, K: 32}, {M: 64, N: 32, K: 32}, {M: 32, N: 64, K: 32}, {M: 64, N: 64, K: 32}}
+	case smallM:
+		// Small M: one tile row; tiny tiles keep enough blocks in
+		// flight to cover the SMs.
+		tbShapes = []cutlass.Shape3{
+			{M: 32, N: 32, K: 32}, {M: 32, N: 64, K: 32}, {M: 32, N: 128, K: 32},
+			{M: 64, N: 64, K: 32}, {M: 64, N: 128, K: 32}, {M: 64, N: 256, K: 32},
+		}
+	case smallN:
+		tbShapes = []cutlass.Shape3{
+			{M: 32, N: 32, K: 32}, {M: 64, N: 32, K: 32}, {M: 128, N: 32, K: 32},
+			{M: 64, N: 64, K: 32}, {M: 128, N: 64, K: 32}, {M: 256, N: 64, K: 32},
+		}
+	default:
+		tbShapes = []cutlass.Shape3{
+			{M: 128, N: 128, K: 32}, {M: 128, N: 256, K: 32}, {M: 256, N: 128, K: 32},
+			{M: 128, N: 64, K: 32}, {M: 64, N: 128, K: 32}, {M: 128, N: 128, K: 64},
+		}
+	}
+
+	stages := []int{2}
+	if p.dev.Arch >= gpu.SM80 {
+		stages = []int{3, 4}
+	}
+
+	var out []cutlass.GemmConfig
+	for _, tb := range tbShapes {
+		for _, warps := range []int{4, 8} { // tuning guideline 2
+			for _, warp := range warpPartitions(tb, warps, inst) {
+				for _, st := range stages {
+					for _, sw := range []int{1, 2} {
+						cfg := cutlass.GemmConfig{
+							TB: tb, Warp: warp, Inst: inst,
+							Stages: st, SwizzleLog: sw,
+							AlignA: alignA, AlignB: alignB, AlignC: alignC,
+							Op: gpu.OpClassTensorOp, DType: w.DType,
+						}
+						if cfg.Validate(p.dev) == nil && cfg.SupportsProblem(w.M, w.N, w.K) {
+							out = append(out, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	return dedupConfigs(out)
+}
+
+// warpPartitions returns warp tiles that split tb into the requested
+// warp count, preferring large warp tiles (tuning guideline 1).
+func warpPartitions(tb cutlass.Shape3, warps int, inst cutlass.Shape3) []cutlass.Shape3 {
+	var out []cutlass.Shape3
+	for wm := 1; wm <= warps; wm *= 2 {
+		wn := warps / wm
+		if tb.M%wm != 0 || tb.N%wn != 0 {
+			continue
+		}
+		warp := cutlass.Shape3{M: tb.M / wm, N: tb.N / wn, K: tb.K}
+		if warp.M%inst.M != 0 || warp.N%inst.N != 0 || warp.K%inst.K != 0 {
+			continue
+		}
+		out = append(out, warp)
+	}
+	return out
+}
+
+func dedupConfigs(in []cutlass.GemmConfig) []cutlass.GemmConfig {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, c := range in {
+		key := fmt.Sprintf("%v|%v|%d|%d|%d", c.TB, c.Warp, c.Stages, c.SwizzleLog, c.AlignA)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// chargeCompile charges the one-time sample-program build cost.
+func (p *Profiler) chargeCompile(name string) {
+	if p.compiled[name] {
+		return
+	}
+	p.compiled[name] = true
+	if p.clock != nil {
+		p.clock.Advance(p.CompileLatency)
+	}
+}
+
+// ProfileGemm measures all candidates for the workload and returns the
+// fastest, caching the result.
+func (p *Profiler) ProfileGemm(w GemmWorkload) (Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.gemmCache[w]; ok {
+		return r, nil
+	}
+	cands := p.GemmCandidates(w)
+	if len(cands) == 0 {
+		return Result{}, fmt.Errorf("profiler: no valid candidates for %s", w)
+	}
+	best := Result{Time: -1, Candidates: len(cands)}
+	for _, cfg := range cands {
+		p.chargeCompile(cfg.Name())
+		g := &cutlass.Gemm{Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
+		t := gpu.Measure(p.dev, g.Desc(p.dev, w.M, w.N, w.K), p.Measure, p.rng, p.clock)
+		if best.Time < 0 || t < best.Time {
+			best.Time = t
+			best.Config = cfg
+		}
+	}
+	p.gemmCache[w] = best
+	return best, nil
+}
+
+// ProfileConv measures candidates for a convolution workload.
+func (p *Profiler) ProfileConv(s cutlass.ConvShape) (Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.convCache[s]; ok {
+		return r, nil
+	}
+	m, n, k := s.ImplicitGemm()
+	w := GemmWorkload{M: m, N: n, K: k, DType: tensor.FP16}
+	cands := p.GemmCandidates(w)
+	// Conv alignment follows the channel counts, not the implicit-GEMM
+	// dims.
+	ica := alignmentFor(s.IC)
+	oca := alignmentFor(s.OC)
+	filtered := cands[:0]
+	for _, cfg := range cands {
+		cfg.AlignA, cfg.AlignB, cfg.AlignC = ica, ica, oca
+		conv := &cutlass.Conv2D{Shape: s, Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
+		if conv.SupportsProblem() {
+			filtered = append(filtered, cfg)
+		}
+	}
+	if len(filtered) == 0 {
+		return Result{}, fmt.Errorf("profiler: no valid candidates for %v", s)
+	}
+	best := Result{Time: -1, Candidates: len(filtered)}
+	for _, cfg := range filtered {
+		p.chargeCompile(cfg.Name())
+		conv := &cutlass.Conv2D{Shape: s, Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
+		t := gpu.Measure(p.dev, conv.Desc(p.dev), p.Measure, p.rng, p.clock)
+		if best.Time < 0 || t < best.Time {
+			best.Time = t
+			best.Config = cfg
+		}
+	}
+	p.convCache[s] = best
+	return best, nil
+}
+
+// RankGemm returns all candidates with their measured times, sorted
+// fastest first (for cmd/boltprof's candidate dump).
+func (p *Profiler) RankGemm(w GemmWorkload) ([]cutlass.GemmConfig, []float64) {
+	cands := p.GemmCandidates(w)
+	times := make([]float64, len(cands))
+	for i, cfg := range cands {
+		g := &cutlass.Gemm{Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
+		times[i] = p.dev.KernelTime(g.Desc(p.dev, w.M, w.N, w.K))
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return times[idx[a]] < times[idx[b]] })
+	outC := make([]cutlass.GemmConfig, len(cands))
+	outT := make([]float64, len(cands))
+	for i, j := range idx {
+		outC[i], outT[i] = cands[j], times[j]
+	}
+	return outC, outT
+}

@@ -1,0 +1,430 @@
+package relay
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/persistent"
+	"bolt/internal/tensor"
+)
+
+// replaceUses rewires every consumer of old (and the graph output) to
+// consume new instead.
+func (g *Graph) replaceUses(old, new *Node) {
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if in == old {
+				n.Inputs[i] = new
+			}
+		}
+	}
+	if g.Output == old {
+		g.Output = new
+	}
+}
+
+// FoldBatchNorm folds inference-mode BatchNorm layers into the
+// preceding convolution's weights and bias:
+//
+//	scale = gamma / sqrt(var + eps)
+//	W'    = W * scale (per output channel)
+//	b'    = beta - mean * scale
+//
+// The BN node is replaced by a BiasAdd so the epilogue-fusion pass can
+// absorb it into the kernel.
+func FoldBatchNorm(g *Graph) int {
+	consumers := g.Consumers()
+	folded := 0
+	nextID := len(g.Nodes) * 2
+	for _, n := range g.Nodes {
+		if n.Op != OpBatchNorm {
+			continue
+		}
+		conv := n.Inputs[0]
+		if conv.Op != OpConv2D || len(consumers[conv.ID]) != 1 {
+			continue
+		}
+		gamma, beta, mean, variance := n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4]
+		w := conv.Inputs[1]
+		if w.Op != OpConstant || gamma.Op != OpConstant || beta.Op != OpConstant ||
+			mean.Op != OpConstant || variance.Op != OpConstant {
+			continue
+		}
+		oc := conv.Conv.OC
+		scale := make([]float32, oc)
+		shift := make([]float32, oc)
+		for i := 0; i < oc; i++ {
+			s := gamma.Value.Data()[i] / float32(math.Sqrt(float64(variance.Value.Data()[i])+n.Eps))
+			scale[i] = s
+			shift[i] = beta.Value.Data()[i] - mean.Value.Data()[i]*s
+		}
+		// Scale weights per output channel (OHWI: oc is the outer dim).
+		wNew := w.Value.Clone()
+		per := wNew.NumElements() / oc
+		for i := 0; i < oc; i++ {
+			for j := 0; j < per; j++ {
+				wNew.Data()[i*per+j] *= scale[i]
+			}
+		}
+		wNew.Quantize()
+		wNode := &Node{ID: nextID, Op: OpConstant, Name: w.Name + "_bnfold",
+			Shape: wNew.Shape().Clone(), DType: wNew.DType(), Layout: wNew.Layout(), Value: wNew}
+		nextID++
+		bias := tensor.FromData(tensor.FP16, shift, oc)
+		bNode := &Node{ID: nextID, Op: OpConstant, Name: w.Name + "_bnbias",
+			Shape: bias.Shape().Clone(), DType: bias.DType(), Layout: bias.Layout(), Value: bias}
+		nextID++
+		conv.Inputs[1] = wNode
+		biasAdd := &Node{ID: nextID, Op: OpBiasAdd, Inputs: []*Node{conv, bNode},
+			Shape: n.Shape.Clone(), DType: n.DType, Layout: n.Layout}
+		nextID++
+
+		// Splice: constants and the new BiasAdd enter the node list in
+		// place of the BN node.
+		g.insertAfter(conv, wNode, bNode)
+		g.replaceNode(n, biasAdd)
+		folded++
+		consumers = g.Consumers()
+	}
+	g.rebuild()
+	return folded
+}
+
+// insertAfter places extra nodes immediately after anchor in the
+// topological order.
+func (g *Graph) insertAfter(anchor *Node, extra ...*Node) {
+	for i, n := range g.Nodes {
+		if n == anchor {
+			rest := append([]*Node{}, g.Nodes[i+1:]...)
+			g.Nodes = append(append(g.Nodes[:i+1], extra...), rest...)
+			return
+		}
+	}
+	g.Nodes = append(g.Nodes, extra...)
+}
+
+// replaceNode swaps old for new in the node list and rewires consumers.
+func (g *Graph) replaceNode(old, new *Node) {
+	for i, n := range g.Nodes {
+		if n == old {
+			g.Nodes[i] = new
+			break
+		}
+	}
+	g.replaceUses(old, new)
+}
+
+// FuseEpilogue absorbs BiasAdd and activation nodes that immediately
+// follow a Dense/Conv2D anchor into the anchor's epilogue (the CUTLASS
+// epilogue-fusion prerequisite of §3.1). Returns the number of anchors
+// that gained a fused epilogue.
+func FuseEpilogue(g *Graph) int {
+	fused := 0
+	for {
+		consumers := g.Consumers()
+		changed := false
+		for _, n := range g.Nodes {
+			if !(n.Op == OpDense || n.Op == OpConv2D) {
+				continue
+			}
+			cs := consumers[n.ID]
+			if len(cs) != 1 {
+				continue
+			}
+			next := cs[0]
+			switch next.Op {
+			case OpBiasAdd:
+				if n.Epilogue != nil && n.Epilogue.Act != cutlass.ActIdentity {
+					continue // activation already applied; bias cannot follow
+				}
+				epi := ensureEpilogue(n)
+				if epi.BiasVector {
+					continue // already has a bias
+				}
+				epi.Beta = 1
+				epi.BiasVector = true
+				n.Inputs = append(n.Inputs, next.Inputs[1])
+				g.replaceNode(next, n)
+				changed = true
+				fused++
+			case OpActivation:
+				epi := ensureEpilogue(n)
+				if epi.Act != cutlass.ActIdentity {
+					continue
+				}
+				epi.Act = next.Act
+				g.replaceNode(next, n)
+				changed = true
+				fused++
+			}
+			if changed {
+				break
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	g.rebuild()
+	return fused
+}
+
+func ensureEpilogue(n *Node) *cutlass.Epilogue {
+	if n.Epilogue == nil {
+		e := cutlass.DefaultEpilogue()
+		e.OutDType = n.DType
+		n.Epilogue = &e
+	}
+	return n.Epilogue
+}
+
+// epilogueOf returns the node's epilogue or the default.
+func epilogueOf(n *Node) cutlass.Epilogue {
+	if n.Epilogue != nil {
+		return *n.Epilogue
+	}
+	e := cutlass.DefaultEpilogue()
+	e.OutDType = n.DType
+	return e
+}
+
+// FusePersistent fuses chains of back-to-back Dense or Conv2D anchors
+// into persistent kernels (paper §3.1.1) when threadblock residence
+// holds and the device model predicts a speedup. Must run after
+// FuseEpilogue. Returns the number of chains created.
+func FusePersistent(g *Graph, d *gpu.Device) int {
+	created := 0
+	for {
+		consumers := g.Consumers()
+		var head *Node
+		var chain []*Node
+		for _, n := range g.Nodes {
+			if !(n.Op == OpDense || n.Op == OpConv2D) {
+				continue
+			}
+			c := collectChain(n, consumers)
+			if len(c) >= 2 {
+				head = n
+				chain = c
+				break
+			}
+		}
+		if head == nil {
+			break
+		}
+		if !tryFuseChain(g, head, chain, d) {
+			// Mark the head so we do not retry it forever.
+			head.Target = TargetBolt
+			continue
+		}
+		created++
+	}
+	// Clear the temporary marks.
+	for _, n := range g.Nodes {
+		if n.Target == TargetBolt {
+			n.Target = TargetUnassigned
+		}
+	}
+	g.rebuild()
+	return created
+}
+
+// collectChain walks forward from anchor while the single consumer is a
+// fusable follower of the same kind.
+func collectChain(anchor *Node, consumers map[int][]*Node) []*Node {
+	if anchor.Target != TargetUnassigned { // already attempted
+		return nil
+	}
+	chain := []*Node{anchor}
+	cur := anchor
+	for {
+		cs := consumers[cur.ID]
+		if len(cs) != 1 {
+			break
+		}
+		next := cs[0]
+		if next.Op != anchor.Op || next.Inputs[0] != cur {
+			break
+		}
+		if anchor.Op == OpConv2D {
+			s := next.Conv
+			// Threadblock residence for convs: trailing layers must be
+			// 1x1, stride 1, no padding (paper §3.1.1).
+			if s.KH != 1 || s.KW != 1 || s.StrideH != 1 || s.StrideW != 1 || s.PadH != 0 || s.PadW != 0 {
+				break
+			}
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+	return chain
+}
+
+// tryFuseChain validates residence and benefit; on success it rewrites
+// the graph with a persistent node and returns true.
+func tryFuseChain(g *Graph, head *Node, chain []*Node, d *gpu.Device) bool {
+	if head.Op == OpDense {
+		return tryFuseGemmChain(g, chain, d)
+	}
+	return tryFuseConvChain(g, chain, d)
+}
+
+func tryFuseGemmChain(g *Graph, chain []*Node, d *gpu.Device) bool {
+	m := chain[0].Shape[0]
+	layers := make([]persistent.GemmLayer, len(chain))
+	for i, n := range chain {
+		k := n.Inputs[1].Shape[0]
+		nn := n.Inputs[1].Shape[1]
+		cfg, ok := ResidenceConfig(nn, d)
+		if !ok {
+			return false
+		}
+		layers[i] = persistent.GemmLayer{N: nn, K: k, Config: cfg, Epilogue: epilogueOf(n)}
+	}
+	f, err := persistent.ChooseGemmResidence(m, layers, d)
+	if err != nil {
+		return false
+	}
+	if f.Time(d) >= persistent.UnfusedGemmTime(d, m, layers) {
+		return false // fusion not beneficial (compute-bound chain)
+	}
+	node := &Node{ID: freshID(g), Op: OpPersistentGemm,
+		Shape: chain[len(chain)-1].Shape.Clone(), DType: chain[0].DType, Layout: tensor.LayoutRowMajor}
+	node.Inputs = []*Node{chain[0].Inputs[0]}
+	for i, n := range chain {
+		cl := ChainLayer{N: layers[i].N, K: layers[i].K, Epilogue: layers[i].Epilogue, Weight: n.Inputs[1]}
+		node.Inputs = append(node.Inputs, n.Inputs[1])
+		if len(n.Inputs) > 2 { // fused bias
+			cl.Bias = n.Inputs[2]
+			node.Inputs = append(node.Inputs, n.Inputs[2])
+		}
+		node.Chain = append(node.Chain, cl)
+	}
+	g.insertAfter(chain[len(chain)-1], node)
+	g.replaceUses(chain[len(chain)-1], node)
+	g.rebuild()
+	return true
+}
+
+func tryFuseConvChain(g *Graph, chain []*Node, d *gpu.Device) bool {
+	layers := make([]persistent.ConvLayer, len(chain))
+	for i, n := range chain {
+		cfg, ok := ResidenceConfig(n.Conv.OC, d)
+		if !ok {
+			return false
+		}
+		if n.Conv.IC%cfg.AlignA != 0 {
+			cfg.AlignA, cfg.AlignB = AlignFor(n.Conv.IC), AlignFor(n.Conv.IC)
+		}
+		layers[i] = persistent.ConvLayer{Shape: n.Conv, Config: cfg, Epilogue: epilogueOf(n)}
+	}
+	f, err := persistent.ChooseConvResidence(layers, d)
+	if err != nil {
+		return false
+	}
+	if f.Time(d) >= persistent.UnfusedConvTime(d, layers) {
+		return false
+	}
+	last := chain[len(chain)-1]
+	node := &Node{ID: freshID(g), Op: OpPersistentConv,
+		Shape: last.Shape.Clone(), DType: chain[0].DType, Layout: last.Layout}
+	node.Inputs = []*Node{chain[0].Inputs[0]}
+	for i, n := range chain {
+		cl := ChainLayer{Conv: n.Conv, Epilogue: layers[i].Epilogue, Weight: n.Inputs[1]}
+		node.Inputs = append(node.Inputs, n.Inputs[1])
+		if len(n.Inputs) > 2 {
+			cl.Bias = n.Inputs[2]
+			node.Inputs = append(node.Inputs, n.Inputs[2])
+		}
+		node.Chain = append(node.Chain, cl)
+	}
+	g.insertAfter(last, node)
+	g.replaceUses(last, node)
+	g.rebuild()
+	return true
+}
+
+// ResidenceConfig builds a residence-compatible tile config for output
+// extent n, or reports that residence is infeasible (N too large for
+// one threadblock tile). Exported for the codegen stage, which must
+// rebuild the same configurations when lowering persistent nodes.
+func ResidenceConfig(n int, d *gpu.Device) (cutlass.GemmConfig, bool) {
+	tbN := (n + 7) / 8 * 8
+	if tbN < 8 {
+		tbN = 8
+	}
+	cfg := cutlass.GemmConfig{
+		TB:     cutlass.Shape3{M: 64, N: tbN, K: 32},
+		Warp:   cutlass.Shape3{M: 16, N: tbN, K: 32},
+		Inst:   cutlass.InstructionShape(d.Arch),
+		Stages: 2, SwizzleLog: 0,
+		AlignA: 8, AlignB: 8, AlignC: 8,
+		Op: gpu.OpClassTensorOp, DType: tensor.FP16,
+	}
+	if n%8 != 0 {
+		a := AlignFor(n)
+		cfg.AlignA, cfg.AlignB, cfg.AlignC = a, a, a
+	}
+	// Quick feasibility probe: the shared-memory staging must fit.
+	if cfg.SharedMemBytes() > d.SharedMemBlock {
+		return cfg, false
+	}
+	return cfg, true
+}
+
+// AlignFor returns the widest legal alignment for extent n.
+func AlignFor(n int) int {
+	for _, a := range []int{8, 4, 2} {
+		if n%a == 0 {
+			return a
+		}
+	}
+	return 1
+}
+
+func freshID(g *Graph) int {
+	max := 0
+	for _, n := range g.Nodes {
+		if n.ID > max {
+			max = n.ID
+		}
+	}
+	return max + 1
+}
+
+// PartitionBYOC assigns each node to the Bolt backend (templated
+// CUTLASS codegen) or the TVM fallback, the BYOC split of paper
+// Figure 3. Anchors and padding/layout ops adjacent to them go to
+// Bolt; everything else stays on TVM.
+func PartitionBYOC(g *Graph) (boltNodes, tvmNodes int) {
+	for _, n := range g.Nodes {
+		switch {
+		case n.IsAnchor() || n.Op == OpPadChannels || n.Op == OpSliceChannels || n.Op == OpLayoutTransform:
+			n.Target = TargetBolt
+			boltNodes++
+		case n.Op == OpInput || n.Op == OpConstant:
+			n.Target = TargetUnassigned
+		default:
+			n.Target = TargetTVM
+			tvmNodes++
+		}
+	}
+	return boltNodes, tvmNodes
+}
+
+// Optimize runs the full Bolt graph pipeline in order: BatchNorm
+// folding, epilogue fusion, layout transformation, kernel padding,
+// persistent fusion, and BYOC partitioning.
+func Optimize(g *Graph, d *gpu.Device) error {
+	FoldBatchNorm(g)
+	FuseEpilogue(g)
+	if err := TransformLayout(g); err != nil {
+		return fmt.Errorf("relay: layout transform: %w", err)
+	}
+	PadChannels(g)
+	FusePersistent(g, d)
+	PartitionBYOC(g)
+	return g.Validate()
+}

@@ -1,0 +1,187 @@
+// Package rt is the runtime: it executes compiled modules functionally
+// (for correctness validation on the emulated FP16 numerics) and prices
+// them on the device model (for all performance experiments).
+//
+// A Module is the artifact Bolt's BYOC flow produces (paper Figure 3):
+// a sequence of kernels — templated CUTLASS kernels for the Bolt
+// subgraph, plain TVM kernels for the rest — compiled "into a single
+// runtime file".
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/gpu"
+	"bolt/internal/relay"
+	"bolt/internal/tensor"
+)
+
+// Kernel is one launchable unit in a compiled module.
+type Kernel struct {
+	Name string
+	// Node is the graph node this kernel implements.
+	Node *relay.Node
+	// Desc prices the launch; a zero GridBlocks Desc (folded glue ops,
+	// compile-time constants) costs nothing.
+	Desc gpu.KernelDesc
+	// Launches is the number of device launches (0 for folded ops).
+	Launches int
+	// Source is the emitted CUDA-like code (Bolt kernels only).
+	Source string
+	// Exec computes the node's output from the environment.
+	Exec func(env *Env) *tensor.Tensor
+}
+
+// Env holds tensors materialized during execution.
+type Env struct {
+	vals   map[int]*tensor.Tensor
+	inputs map[string]*tensor.Tensor
+}
+
+// Value returns the computed tensor for a node.
+func (e *Env) Value(n *relay.Node) *tensor.Tensor {
+	v, ok := e.vals[n.ID]
+	if !ok {
+		panic(fmt.Sprintf("rt: node %s not yet computed", n))
+	}
+	return v
+}
+
+// Input returns a named graph input.
+func (e *Env) Input(name string) *tensor.Tensor {
+	v, ok := e.inputs[name]
+	if !ok {
+		panic(fmt.Sprintf("rt: missing input %q", name))
+	}
+	return v
+}
+
+// Module is a compiled, runnable, priceable model.
+type Module struct {
+	Graph   *relay.Graph
+	Kernels []Kernel
+	Device  *gpu.Device
+}
+
+// Run executes the module functionally and returns the output tensor.
+func (m *Module) Run(inputs map[string]*tensor.Tensor) *tensor.Tensor {
+	env := &Env{vals: make(map[int]*tensor.Tensor, len(m.Kernels)), inputs: inputs}
+	var out *tensor.Tensor
+	for i := range m.Kernels {
+		k := &m.Kernels[i]
+		v := k.Exec(env)
+		env.vals[k.Node.ID] = v
+		if k.Node == m.Graph.Output {
+			out = v
+		}
+	}
+	if out == nil {
+		panic("rt: output node was never executed")
+	}
+	return out
+}
+
+// Time returns the modeled end-to-end latency of one inference batch
+// (seconds): the sum of every kernel launch.
+func (m *Module) Time() float64 {
+	total := 0.0
+	for i := range m.Kernels {
+		if m.Kernels[i].Launches > 0 {
+			total += m.Device.KernelTime(m.Kernels[i].Desc)
+		}
+	}
+	return total
+}
+
+// Throughput returns images/second for the given batch size (the
+// paper's Figure 10a metric).
+func (m *Module) Throughput(batch int) float64 {
+	t := m.Time()
+	if t <= 0 || math.IsInf(t, 1) {
+		return 0
+	}
+	return float64(batch) / t
+}
+
+// LaunchCount returns the number of device kernel launches per batch.
+func (m *Module) LaunchCount() int {
+	n := 0
+	for i := range m.Kernels {
+		n += m.Kernels[i].Launches
+	}
+	return n
+}
+
+// KernelReport returns a per-kernel time breakdown, slowest first,
+// for diagnostics (cmd/boltc -report).
+type KernelTimeRow struct {
+	Name    string
+	Op      string
+	Time    float64
+	Percent float64
+}
+
+// Report summarizes where the time goes.
+func (m *Module) Report() []KernelTimeRow {
+	total := m.Time()
+	rows := make([]KernelTimeRow, 0, len(m.Kernels))
+	for i := range m.Kernels {
+		k := &m.Kernels[i]
+		if k.Launches == 0 {
+			continue
+		}
+		t := m.Device.KernelTime(k.Desc)
+		rows = append(rows, KernelTimeRow{Name: k.Name, Op: k.Node.Op.String(), Time: t, Percent: 100 * t / total})
+	}
+	for i := 1; i < len(rows); i++ {
+		r := rows[i]
+		j := i - 1
+		for j >= 0 && rows[j].Time < r.Time {
+			rows[j+1] = rows[j]
+			j--
+		}
+		rows[j+1] = r
+	}
+	return rows
+}
+
+// Sources concatenates the emitted kernel sources (the "generated
+// CUDA" a user would inspect).
+func (m *Module) Sources() string {
+	s := ""
+	for i := range m.Kernels {
+		if m.Kernels[i].Source != "" {
+			s += m.Kernels[i].Source + "\n"
+		}
+	}
+	return s
+}
+
+// MemoryReport summarizes device-memory usage of a compiled module.
+type MemoryReport struct {
+	// ParamBytes is the total weight/bias storage, including padded
+	// weights and the pre-allocated layout/padding buffers Bolt adds to
+	// the model's parameters (paper §3.2.3).
+	ParamBytes int
+	// PeakActivationBytes is the largest single intermediate tensor
+	// (a lower bound on the activation arena).
+	PeakActivationBytes int
+}
+
+// Memory computes the module's memory report from the graph.
+func (m *Module) Memory() MemoryReport {
+	var r MemoryReport
+	for _, n := range m.Graph.Nodes {
+		switch n.Op {
+		case relay.OpConstant:
+			r.ParamBytes += n.Shape.NumElements() * n.DType.Size()
+		case relay.OpInput:
+		default:
+			if b := n.Shape.NumElements() * n.DType.Size(); b > r.PeakActivationBytes {
+				r.PeakActivationBytes = b
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,267 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/relay"
+	"bolt/internal/tensor"
+)
+
+// The functions in this file implement the fallback ("TVM") operators:
+// functional semantics plus a priced kernel descriptor. They are
+// deliberately simple memory-bound SIMT kernels — exactly the ops BYOC
+// leaves outside the Bolt subgraph.
+
+// ElementwiseLikeDesc prices a memory-bound elementwise kernel over
+// `elems` elements with `streams` tensor operands (reads) and one
+// write.
+func ElementwiseLikeDesc(name string, elems, streams int, flopsPer float64, dt tensor.DType) gpu.KernelDesc {
+	threads := 256
+	blocks := (elems + threads*4 - 1) / (threads * 4)
+	if blocks == 0 {
+		blocks = 1
+	}
+	return gpu.KernelDesc{
+		Name:            name,
+		GridBlocks:      blocks,
+		ThreadsPerBlock: threads,
+		RegsPerThread:   32,
+		FLOPs:           flopsPer * float64(elems),
+		GlobalLoadB:     float64(streams * elems * dt.Size()),
+		GlobalStoreB:    float64(elems * dt.Size()),
+		OpClass:         gpu.OpClassSIMT,
+		DType:           dt,
+		AlignmentElems:  8,
+		IssueEff:        0.85,
+		MemEff:          0.95,
+	}
+}
+
+// BiasAddRun broadcasts bias over the trailing (channel) dimension.
+func BiasAddRun(x, bias *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	bd := bias.Data()
+	c := len(bd)
+	s := x.Shape()
+	if len(s) == 4 && layout == tensor.LayoutNCHW {
+		n, ch, h, w := s[0], s[1], s[2], s[3]
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < ch; ic++ {
+				base := (in*ch + ic) * h * w
+				for i := 0; i < h*w; i++ {
+					d[base+i] += bd[ic]
+				}
+			}
+		}
+	} else {
+		for i := range d {
+			d[i] += bd[i%c]
+		}
+	}
+	out.Quantize()
+	return out
+}
+
+// ActivationRun applies the nonlinearity elementwise.
+func ActivationRun(x *tensor.Tensor, act cutlass.Activation) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = act.Apply(v)
+	}
+	out.Quantize()
+	return out
+}
+
+// AddRun is elementwise addition.
+func AddRun(a, b *tensor.Tensor) *tensor.Tensor {
+	out := a.Clone()
+	d := out.Data()
+	bd := b.Data()
+	for i := range d {
+		d[i] += bd[i]
+	}
+	out.Quantize()
+	return out
+}
+
+// BatchNormRun applies inference-mode BN over the channel axis.
+func BatchNormRun(x, gamma, beta, mean, variance *tensor.Tensor, eps float64, layout tensor.Layout) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	c := gamma.NumElements()
+	scale := make([]float32, c)
+	shift := make([]float32, c)
+	for i := 0; i < c; i++ {
+		s := gamma.Data()[i] / float32(math.Sqrt(float64(variance.Data()[i])+eps))
+		scale[i] = s
+		shift[i] = beta.Data()[i] - mean.Data()[i]*s
+	}
+	s := x.Shape()
+	if len(s) == 4 && layout == tensor.LayoutNCHW {
+		n, ch, h, w := s[0], s[1], s[2], s[3]
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < ch; ic++ {
+				base := (in*ch + ic) * h * w
+				for i := 0; i < h*w; i++ {
+					d[base+i] = d[base+i]*scale[ic] + shift[ic]
+				}
+			}
+		}
+	} else {
+		for i := range d {
+			d[i] = d[i]*scale[i%c] + shift[i%c]
+		}
+	}
+	out.Quantize()
+	return out
+}
+
+// MaxPoolRun computes 2-D max pooling for NHWC or NCHW tensors.
+func MaxPoolRun(x *tensor.Tensor, p relay.PoolAttrs, layout tensor.Layout) *tensor.Tensor {
+	s := x.Shape()
+	var n, h, w, c int
+	if layout == tensor.LayoutNCHW {
+		n, c, h, w = s[0], s[1], s[2], s[3]
+	} else {
+		n, h, w, c = s[0], s[1], s[2], s[3]
+	}
+	oh := (h+2*p.Pad-p.Kernel)/p.Stride + 1
+	ow := (w+2*p.Pad-p.Kernel)/p.Stride + 1
+	var out *tensor.Tensor
+	get := func(in, ih, iw, ic int) float32 {
+		if layout == tensor.LayoutNCHW {
+			return x.At(in, ic, ih, iw)
+		}
+		return x.At(in, ih, iw, ic)
+	}
+	if layout == tensor.LayoutNCHW {
+		out = tensor.NewWithLayout(x.DType(), layout, n, c, oh, ow)
+	} else {
+		out = tensor.NewWithLayout(x.DType(), layout, n, oh, ow, c)
+	}
+	neg := float32(math.Inf(-1))
+	for in := 0; in < n; in++ {
+		for io := 0; io < oh; io++ {
+			for jo := 0; jo < ow; jo++ {
+				for ic := 0; ic < c; ic++ {
+					best := neg
+					for kh := 0; kh < p.Kernel; kh++ {
+						ih := io*p.Stride - p.Pad + kh
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for kw := 0; kw < p.Kernel; kw++ {
+							iw := jo*p.Stride - p.Pad + kw
+							if iw < 0 || iw >= w {
+								continue
+							}
+							if v := get(in, ih, iw, ic); v > best {
+								best = v
+							}
+						}
+					}
+					if layout == tensor.LayoutNCHW {
+						out.Set(best, in, ic, io, jo)
+					} else {
+						out.Set(best, in, io, jo, ic)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPoolRun averages spatial dims to (N, C).
+func GlobalAvgPoolRun(x *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
+	s := x.Shape()
+	var n, h, w, c int
+	if layout == tensor.LayoutNCHW {
+		n, c, h, w = s[0], s[1], s[2], s[3]
+	} else {
+		n, h, w, c = s[0], s[1], s[2], s[3]
+	}
+	out := tensor.New(x.DType(), n, c)
+	inv := 1 / float32(h*w)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			sum := float32(0)
+			for ih := 0; ih < h; ih++ {
+				for iw := 0; iw < w; iw++ {
+					if layout == tensor.LayoutNCHW {
+						sum += x.At(in, ic, ih, iw)
+					} else {
+						sum += x.At(in, ih, iw, ic)
+					}
+				}
+			}
+			out.Set(sum*inv, in, ic)
+		}
+	}
+	return out
+}
+
+// SoftmaxRun applies a numerically stable row softmax over the last
+// dimension.
+func SoftmaxRun(x *tensor.Tensor) *tensor.Tensor {
+	s := x.Shape()
+	cols := s[len(s)-1]
+	rows := x.NumElements() / cols
+	out := x.Clone()
+	d := out.Data()
+	for r := 0; r < rows; r++ {
+		row := d[r*cols : (r+1)*cols]
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for i, v := range row {
+			e := math.Exp(float64(v - max))
+			row[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+	out.Quantize()
+	return out
+}
+
+// FlattenRun reshapes to (N, rest).
+func FlattenRun(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Shape()[0]
+	return tensor.Reshape(x, n, x.NumElements()/n)
+}
+
+// PoolDesc prices a pooling kernel: each output element reads kernel^2
+// inputs.
+func PoolDesc(name string, outElems, kernel int, dt tensor.DType) gpu.KernelDesc {
+	d := ElementwiseLikeDesc(name, outElems, 1, float64(kernel*kernel), dt)
+	d.GlobalLoadB = float64(outElems * kernel * kernel * dt.Size())
+	return d
+}
+
+// PadDesc prices the channel-padding copy kernel (Table 3's overhead:
+// read the unpadded activation, write the padded one).
+func PadDesc(inElems, outElems int, dt tensor.DType) gpu.KernelDesc {
+	d := ElementwiseLikeDesc("pad_channels", outElems, 1, 0, dt)
+	d.GlobalLoadB = float64(inElems * dt.Size())
+	d.GlobalStoreB = float64(outElems * dt.Size())
+	// The destination rows are aligned (that is the point); the
+	// unaligned source rows cost some coalescing efficiency.
+	d.AlignmentElems = 8
+	d.MemEff = 0.8
+	return d
+}
+
+func opName(n *relay.Node) string { return fmt.Sprintf("%s_%d", n.Op, n.ID) }

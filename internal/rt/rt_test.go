@@ -1,0 +1,218 @@
+package rt
+
+import (
+	"math"
+	"testing"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/relay"
+	"bolt/internal/tensor"
+)
+
+func TestBiasAddRunLayouts(t *testing.T) {
+	bias := tensor.FromData(tensor.FP32, []float32{1, 2}, 2)
+
+	// NCHW: channel is dim 1.
+	x := tensor.NewWithLayout(tensor.FP32, tensor.LayoutNCHW, 1, 2, 2, 2)
+	out := BiasAddRun(x, bias, tensor.LayoutNCHW)
+	if out.At(0, 0, 1, 1) != 1 || out.At(0, 1, 0, 0) != 2 {
+		t.Error("NCHW bias broadcast wrong")
+	}
+	// NHWC: channel is the trailing dim.
+	x2 := tensor.NewWithLayout(tensor.FP32, tensor.LayoutNHWC, 1, 2, 2, 2)
+	out2 := BiasAddRun(x2, bias, tensor.LayoutNHWC)
+	if out2.At(0, 1, 1, 0) != 1 || out2.At(0, 0, 0, 1) != 2 {
+		t.Error("NHWC bias broadcast wrong")
+	}
+	// 2-D: feature is the trailing dim.
+	x3 := tensor.New(tensor.FP32, 3, 2)
+	out3 := BiasAddRun(x3, bias, tensor.LayoutRowMajor)
+	if out3.At(2, 0) != 1 || out3.At(0, 1) != 2 {
+		t.Error("2-D bias broadcast wrong")
+	}
+}
+
+func TestActivationAndAddRun(t *testing.T) {
+	x := tensor.FromData(tensor.FP32, []float32{-1, 0, 2}, 3)
+	relu := ActivationRun(x, cutlass.ActReLU)
+	if relu.At(0) != 0 || relu.At(2) != 2 {
+		t.Error("ReLU wrong")
+	}
+	y := tensor.FromData(tensor.FP32, []float32{10, 20, 30}, 3)
+	sum := AddRun(x, y)
+	if sum.At(0) != 9 || sum.At(2) != 32 {
+		t.Error("Add wrong")
+	}
+	// Original tensors untouched.
+	if x.At(0) != -1 {
+		t.Error("ActivationRun/AddRun must not mutate inputs")
+	}
+}
+
+func TestBatchNormRun(t *testing.T) {
+	// One channel with gamma=2, beta=1, mean=3, var=4 (eps=0):
+	// y = (x-3)/2*2 + 1 = x - 2.
+	x := tensor.NewWithLayout(tensor.FP32, tensor.LayoutNCHW, 1, 1, 2, 2)
+	x.Fill(5)
+	one := func(v float32) *tensor.Tensor { return tensor.FromData(tensor.FP32, []float32{v}, 1) }
+	out := BatchNormRun(x, one(2), one(1), one(3), one(4), 0, tensor.LayoutNCHW)
+	if out.At(0, 0, 0, 0) != 3 {
+		t.Errorf("BN output %g, want 3", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestMaxPoolRun(t *testing.T) {
+	x := tensor.NewWithLayout(tensor.FP32, tensor.LayoutNHWC, 1, 4, 4, 1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(float32(i*4+j), 0, i, j, 0)
+		}
+	}
+	out := MaxPoolRun(x, relay.PoolAttrs{Kernel: 2, Stride: 2}, tensor.LayoutNHWC)
+	if !out.Shape().Equal(tensor.Shape{1, 2, 2, 1}) {
+		t.Fatalf("pool shape %v", out.Shape())
+	}
+	// Max of each 2x2 block.
+	want := [][]float32{{5, 7}, {13, 15}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if out.At(0, i, j, 0) != want[i][j] {
+				t.Errorf("pool[%d][%d] = %g, want %g", i, j, out.At(0, i, j, 0), want[i][j])
+			}
+		}
+	}
+	// Padded pooling must ignore out-of-bounds (-inf identity).
+	padded := MaxPoolRun(x, relay.PoolAttrs{Kernel: 3, Stride: 2, Pad: 1}, tensor.LayoutNHWC)
+	if padded.At(0, 0, 0, 0) != 5 {
+		t.Errorf("padded pool corner %g, want 5", padded.At(0, 0, 0, 0))
+	}
+	// NCHW path.
+	xc := tensor.ToNCHW(x)
+	outc := MaxPoolRun(xc, relay.PoolAttrs{Kernel: 2, Stride: 2}, tensor.LayoutNCHW)
+	if outc.At(0, 0, 1, 1) != 15 {
+		t.Error("NCHW pool wrong")
+	}
+}
+
+func TestGlobalAvgPoolRun(t *testing.T) {
+	x := tensor.NewWithLayout(tensor.FP32, tensor.LayoutNHWC, 2, 2, 2, 3)
+	x.Fill(4)
+	out := GlobalAvgPoolRun(x, tensor.LayoutNHWC)
+	if !out.Shape().Equal(tensor.Shape{2, 3}) {
+		t.Fatalf("gap shape %v", out.Shape())
+	}
+	if out.At(1, 2) != 4 {
+		t.Error("gap of constant tensor must be the constant")
+	}
+}
+
+func TestSoftmaxRun(t *testing.T) {
+	x := tensor.FromData(tensor.FP32, []float32{1, 2, 3, 1000, 1000, 1000}, 2, 3)
+	out := SoftmaxRun(x)
+	// Rows sum to 1; huge values must not overflow (stability).
+	for r := 0; r < 2; r++ {
+		sum := float32(0)
+		for c := 0; c < 3; c++ {
+			v := out.At(r, c)
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatal("softmax not numerically stable")
+			}
+			sum += v
+		}
+		if math.Abs(float64(sum)-1) > 1e-3 {
+			t.Errorf("row %d sums to %g", r, sum)
+		}
+	}
+	if !(out.At(0, 2) > out.At(0, 1) && out.At(0, 1) > out.At(0, 0)) {
+		t.Error("softmax must be monotone in logits")
+	}
+}
+
+func TestFlattenRun(t *testing.T) {
+	x := tensor.New(tensor.FP16, 2, 3, 4)
+	out := FlattenRun(x)
+	if !out.Shape().Equal(tensor.Shape{2, 12}) {
+		t.Errorf("flatten shape %v", out.Shape())
+	}
+}
+
+func TestDescsAreMemoryBound(t *testing.T) {
+	d := gpu.T4()
+	for _, desc := range []gpu.KernelDesc{
+		ElementwiseLikeDesc("e", 1<<20, 2, 1, tensor.FP16),
+		PoolDesc("p", 1<<18, 3, tensor.FP16),
+		PadDesc(1<<20, (1<<20)+4096, tensor.FP16),
+	} {
+		bd := d.Breakdown(desc)
+		if bd.Memory <= bd.Compute {
+			t.Errorf("%s should be memory bound: %+v", desc.Name, bd)
+		}
+		if bd.Total <= 0 {
+			t.Errorf("%s has non-positive time", desc.Name)
+		}
+	}
+}
+
+func TestModuleAccounting(t *testing.T) {
+	d := gpu.T4()
+	n1 := &relay.Node{ID: 0, Op: relay.OpInput, Name: "x"}
+	n2 := &relay.Node{ID: 1, Op: relay.OpActivation, Inputs: []*relay.Node{n1}}
+	g := &relay.Graph{Nodes: []*relay.Node{n1, n2}, Inputs: []*relay.Node{n1}, Output: n2}
+	in := tensor.FromData(tensor.FP32, []float32{-2, 3}, 2)
+	m := &Module{
+		Graph:  g,
+		Device: d,
+		Kernels: []Kernel{
+			{Name: "in", Node: n1, Launches: 0,
+				Exec: func(env *Env) *tensor.Tensor { return env.Input("x") }},
+			{Name: "act", Node: n2, Launches: 1,
+				Desc: ElementwiseLikeDesc("act", 2, 1, 1, tensor.FP32),
+				Exec: func(env *Env) *tensor.Tensor { return ActivationRun(env.Value(n1), cutlass.ActReLU) }},
+		},
+	}
+	out := m.Run(map[string]*tensor.Tensor{"x": in})
+	if out.At(0) != 0 || out.At(1) != 3 {
+		t.Error("module execution wrong")
+	}
+	if m.LaunchCount() != 1 {
+		t.Errorf("launches = %d", m.LaunchCount())
+	}
+	if m.Time() != d.KernelTime(m.Kernels[1].Desc) {
+		t.Error("Time must sum only launched kernels")
+	}
+	if m.Throughput(2) != 2/m.Time() {
+		t.Error("Throughput wrong")
+	}
+	rows := m.Report()
+	if len(rows) != 1 || rows[0].Percent != 100 {
+		t.Errorf("report wrong: %+v", rows)
+	}
+}
+
+func TestEnvPanicsOnMissing(t *testing.T) {
+	env := &Env{vals: map[int]*tensor.Tensor{}, inputs: map[string]*tensor.Tensor{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("missing input should panic")
+		}
+	}()
+	env.Input("nope")
+}
+
+func TestMemoryReport(t *testing.T) {
+	d := gpu.T4()
+	w := tensor.New(tensor.FP16, 8, 16)
+	c := &relay.Node{ID: 0, Op: relay.OpConstant, Shape: w.Shape(), DType: tensor.FP16, Value: w}
+	in := &relay.Node{ID: 1, Op: relay.OpInput, Name: "x", Shape: tensor.Shape{4, 8}, DType: tensor.FP16}
+	dn := &relay.Node{ID: 2, Op: relay.OpDense, Inputs: []*relay.Node{in, c}, Shape: tensor.Shape{4, 16}, DType: tensor.FP16}
+	g := &relay.Graph{Nodes: []*relay.Node{c, in, dn}, Inputs: []*relay.Node{in}, Output: dn}
+	m := &Module{Graph: g, Device: d}
+	rep := m.Memory()
+	if rep.ParamBytes != 8*16*2 {
+		t.Errorf("param bytes %d, want %d", rep.ParamBytes, 8*16*2)
+	}
+	if rep.PeakActivationBytes != 4*16*2 {
+		t.Errorf("peak activation %d, want %d", rep.PeakActivationBytes, 4*16*2)
+	}
+}

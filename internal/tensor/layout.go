@@ -1,0 +1,141 @@
+package tensor
+
+import "fmt"
+
+// ToNHWC returns a copy of a 4-D NCHW tensor permuted to NHWC. If the
+// tensor is already NHWC it is deep-copied unchanged. This is the
+// reference semantics for the layout-transformation kernels Bolt folds
+// into a model's first and last layers.
+func ToNHWC(t *Tensor) *Tensor {
+	switch t.layout {
+	case LayoutNHWC:
+		return t.Clone()
+	case LayoutNCHW:
+		n, c, h, w := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+		out := NewWithLayout(t.dtype, LayoutNHWC, n, h, w, c)
+		src := t.data
+		dst := out.data
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < c; ic++ {
+				for ih := 0; ih < h; ih++ {
+					srcRow := ((in*c+ic)*h + ih) * w
+					for iw := 0; iw < w; iw++ {
+						dst[((in*h+ih)*w+iw)*c+ic] = src[srcRow+iw]
+					}
+				}
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("tensor: ToNHWC on non-4D layout %v", t.layout))
+	}
+}
+
+// ToNCHW returns a copy of a 4-D NHWC tensor permuted to NCHW. If the
+// tensor is already NCHW it is deep-copied unchanged.
+func ToNCHW(t *Tensor) *Tensor {
+	switch t.layout {
+	case LayoutNCHW:
+		return t.Clone()
+	case LayoutNHWC:
+		n, h, w, c := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+		out := NewWithLayout(t.dtype, LayoutNCHW, n, c, h, w)
+		src := t.data
+		dst := out.data
+		for in := 0; in < n; in++ {
+			for ih := 0; ih < h; ih++ {
+				for iw := 0; iw < w; iw++ {
+					srcRow := ((in*h+ih)*w + iw) * c
+					for ic := 0; ic < c; ic++ {
+						dst[((in*c+ic)*h+ih)*w+iw] = src[srcRow+ic]
+					}
+				}
+			}
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("tensor: ToNCHW on non-4D layout %v", t.layout))
+	}
+}
+
+// PadChannels returns a copy of an NHWC tensor whose channel dimension is
+// zero-padded up to newC. This is the reference semantics of Bolt's
+// automated kernel padding (Section 3.2.3): tensors whose channel count
+// is not divisible by 8 are padded so alignment-8 (128-bit) vectorized
+// access becomes legal.
+func PadChannels(t *Tensor, newC int) *Tensor {
+	if t.layout != LayoutNHWC {
+		panic("tensor: PadChannels requires NHWC layout")
+	}
+	n, h, w, c := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	if newC < c {
+		panic(fmt.Sprintf("tensor: PadChannels shrinking %d -> %d", c, newC))
+	}
+	if newC == c {
+		return t.Clone()
+	}
+	out := NewWithLayout(t.dtype, LayoutNHWC, n, h, w, newC)
+	for in := 0; in < n; in++ {
+		for ih := 0; ih < h; ih++ {
+			for iw := 0; iw < w; iw++ {
+				srcOff := ((in*h+ih)*w + iw) * c
+				dstOff := ((in*h+ih)*w + iw) * newC
+				copy(out.data[dstOff:dstOff+c], t.data[srcOff:srcOff+c])
+			}
+		}
+	}
+	return out
+}
+
+// SliceChannels returns a copy of an NHWC tensor keeping only the first
+// newC channels. It inverts PadChannels on the valid region.
+func SliceChannels(t *Tensor, newC int) *Tensor {
+	if t.layout != LayoutNHWC {
+		panic("tensor: SliceChannels requires NHWC layout")
+	}
+	n, h, w, c := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
+	if newC > c {
+		panic(fmt.Sprintf("tensor: SliceChannels growing %d -> %d", c, newC))
+	}
+	out := NewWithLayout(t.dtype, LayoutNHWC, n, h, w, newC)
+	for in := 0; in < n; in++ {
+		for ih := 0; ih < h; ih++ {
+			for iw := 0; iw < w; iw++ {
+				srcOff := ((in*h+ih)*w + iw) * c
+				dstOff := ((in*h+ih)*w + iw) * newC
+				copy(out.data[dstOff:dstOff+newC], t.data[srcOff:srcOff+newC])
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D on rank-%d tensor", len(t.shape)))
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(t.dtype, c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.data[j*r+i] = t.data[i*c+j]
+		}
+	}
+	return out
+}
+
+// Reshape returns a view-copy of the tensor with a new shape of equal
+// element count.
+func Reshape(t *Tensor, shape ...int) *Tensor {
+	s := Shape(shape)
+	if s.NumElements() != t.NumElements() {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes element count", t.shape, s))
+	}
+	c := t.Clone()
+	c.shape = s.Clone()
+	if len(shape) != 4 {
+		c.layout = LayoutRowMajor
+	}
+	return c
+}

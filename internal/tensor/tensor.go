@@ -1,0 +1,318 @@
+// Package tensor provides dense n-dimensional tensors with explicit
+// data types and memory layouts.
+//
+// It is the data substrate shared by the relay graph, the CUTLASS-style
+// kernel templates, and the runtime executor. FP16 data is stored as
+// raw binary16 words (see internal/fp16); compute paths decode to
+// float32, mirroring how tensor cores consume half inputs and produce
+// float accumulators.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"bolt/internal/fp16"
+)
+
+// DType enumerates the element types Bolt kernels understand.
+type DType int
+
+const (
+	// FP16 is IEEE binary16, the dominant type in the paper's evaluation.
+	FP16 DType = iota
+	// FP32 is IEEE binary32.
+	FP32
+	// INT8 is a signed 8-bit integer (for mixed-precision extensions).
+	INT8
+)
+
+// String returns the conventional lowercase name of the dtype.
+func (d DType) String() string {
+	switch d {
+	case FP16:
+		return "float16"
+	case FP32:
+		return "float32"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case FP16:
+		return 2
+	case FP32:
+		return 4
+	case INT8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Layout describes the logical dimension ordering of a 4-D activation
+// tensor. CUTLASS convolutions require NHWC; most PyTorch models are
+// authored in NCHW, which is what Bolt's layout-transformation pass
+// rewrites.
+type Layout int
+
+const (
+	// LayoutNCHW orders as batch, channels, height, width.
+	LayoutNCHW Layout = iota
+	// LayoutNHWC orders as batch, height, width, channels.
+	LayoutNHWC
+	// LayoutRowMajor marks a 2-D matrix stored row major.
+	LayoutRowMajor
+	// LayoutColMajor marks a 2-D matrix stored column major.
+	LayoutColMajor
+)
+
+// String returns the conventional name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutNCHW:
+		return "NCHW"
+	case LayoutNHWC:
+		return "NHWC"
+	case LayoutRowMajor:
+		return "RowMajor"
+	case LayoutColMajor:
+		return "ColMajor"
+	default:
+		return fmt.Sprintf("layout(%d)", int(l))
+	}
+}
+
+// Shape is a tensor shape: a list of dimension extents.
+type Shape []int
+
+// NumElements returns the product of the dimensions (1 for a scalar shape).
+func (s Shape) NumElements() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Equal reports whether two shapes have identical rank and extents.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape { return append(Shape(nil), s...) }
+
+// String renders the shape as "(d0, d1, ...)".
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tensor is a dense tensor. Data is always held as float32 for
+// arithmetic convenience; when DType is FP16 every element is kept
+// quantized through binary16 so numerics match a real half buffer.
+type Tensor struct {
+	shape  Shape
+	dtype  DType
+	layout Layout
+	data   []float32
+}
+
+// New allocates a zero tensor of the given dtype and shape with the
+// default layout for its rank (NCHW for 4-D, RowMajor otherwise).
+func New(dtype DType, shape ...int) *Tensor {
+	layout := LayoutRowMajor
+	if len(shape) == 4 {
+		layout = LayoutNCHW
+	}
+	return NewWithLayout(dtype, layout, shape...)
+}
+
+// NewWithLayout allocates a zero tensor with an explicit layout.
+func NewWithLayout(dtype DType, layout Layout, shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	n := s.NumElements()
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %v", s))
+	}
+	return &Tensor{shape: s, dtype: dtype, layout: layout, data: make([]float32, n)}
+}
+
+// FromData builds a tensor around the given backing data (not copied).
+// The data length must match the shape. FP16 tensors are quantized.
+func FromData(dtype DType, data []float32, shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if s.NumElements() != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), s))
+	}
+	layout := LayoutRowMajor
+	if len(shape) == 4 {
+		layout = LayoutNCHW
+	}
+	t := &Tensor{shape: s, dtype: dtype, layout: layout, data: data}
+	t.Quantize()
+	return t
+}
+
+// Shape returns the tensor's shape (shared, do not mutate).
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Layout returns the memory layout tag.
+func (t *Tensor) Layout() Layout { return t.layout }
+
+// SetLayout overrides the layout tag without moving data. Use Transform
+// to actually permute.
+func (t *Tensor) SetLayout(l Layout) { t.layout = l }
+
+// Data exposes the backing float32 slice (aliased, not copied).
+func (t *Tensor) Data() []float32 { return t.data }
+
+// NumElements returns the element count.
+func (t *Tensor) NumElements() int { return len(t.data) }
+
+// Bytes returns the size of the tensor in device memory.
+func (t *Tensor) Bytes() int { return len(t.data) * t.dtype.Size() }
+
+// At returns the element at the given multi-index (row-major within the
+// declared shape ordering).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index, quantizing for FP16 tensors.
+func (t *Tensor) Set(v float32, idx ...int) {
+	if t.dtype == FP16 {
+		v = fp16.ToFloat32(fp16.FromFloat32(v))
+	}
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone deep-copies the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{shape: t.shape.Clone(), dtype: t.dtype, layout: t.layout}
+	c.data = append([]float32(nil), t.data...)
+	return c
+}
+
+// Quantize re-rounds all elements through the tensor's dtype. It is a
+// no-op for FP32.
+func (t *Tensor) Quantize() {
+	switch t.dtype {
+	case FP16:
+		fp16.Quantize(t.data)
+	case INT8:
+		for i, v := range t.data {
+			q := math.Round(float64(v))
+			if q > 127 {
+				q = 127
+			} else if q < -128 {
+				q = -128
+			}
+			t.data[i] = float32(q)
+		}
+	}
+}
+
+// Fill sets every element to v (quantized per dtype).
+func (t *Tensor) Fill(v float32) {
+	if t.dtype == FP16 {
+		v = fp16.ToFloat32(fp16.FromFloat32(v))
+	}
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// FillRandom fills the tensor with deterministic pseudo-random values in
+// [-scale, scale] using the given seed, then quantizes. Kernels are
+// validated against reference implementations on this data.
+func (t *Tensor) FillRandom(seed int64, scale float32) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.data {
+		t.data[i] = (rng.Float32()*2 - 1) * scale
+	}
+	t.Quantize()
+}
+
+// AsType returns a copy converted to the requested dtype.
+func (t *Tensor) AsType(d DType) *Tensor {
+	c := t.Clone()
+	c.dtype = d
+	c.Quantize()
+	return c
+}
+
+// String summarizes the tensor without dumping all data.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor{%s %s %s, %d elems}", t.dtype, t.layout, t.shape, len(t.data))
+}
+
+// MaxAbsDiff returns the maximum elementwise absolute difference between
+// two same-shaped tensors.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !a.shape.Equal(b.shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether every element of a is within atol + rtol*|b|
+// of the corresponding element of b.
+func AllClose(a, b *Tensor, rtol, atol float64) bool {
+	if !a.shape.Equal(b.shape) {
+		return false
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return false
+		}
+		if math.Abs(x-y) > atol+rtol*math.Abs(y) {
+			return false
+		}
+	}
+	return true
+}

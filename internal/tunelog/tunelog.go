@@ -1,0 +1,161 @@
+// Package tunelog implements a tuning-log database in the spirit of
+// TopHub / Lorien (paper §2.1): a persistent cache mapping workload
+// signatures to previously tuned schedules, so static models can skip
+// re-tuning.
+//
+// The paper's argument — which the ext-dyn experiment quantifies — is
+// that this mitigation "only goes so far": models with dynamic shapes
+// present workloads whose exact signatures are only known at runtime,
+// where the cache misses and the full opaque search cost returns.
+// Maintaining the database across TVM versions and devices also
+// "incurs substantial costs", which the Stale machinery models.
+package tunelog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"bolt/internal/ansor"
+)
+
+// Key identifies a tuning task: operator kind, problem dimensions,
+// target device, and the tuner version that produced the entry
+// (entries from older tuner versions are stale — schedules do not
+// transfer reliably across code generators).
+type Key struct {
+	Kind    string `json:"kind"` // "gemm" or "conv2d"
+	M       int    `json:"m"`
+	N       int    `json:"n"`
+	K       int    `json:"k"`
+	Device  string `json:"device"`
+	Version int    `json:"version"`
+}
+
+// String renders the key compactly.
+func (k Key) String() string {
+	return fmt.Sprintf("%s(%d,%d,%d)@%s/v%d", k.Kind, k.M, k.N, k.K, k.Device, k.Version)
+}
+
+// Entry is one cached tuning result.
+type Entry struct {
+	Schedule ansor.Schedule `json:"schedule"`
+	// TimeSeconds is the measured kernel time when the entry was
+	// recorded.
+	TimeSeconds float64 `json:"time_seconds"`
+	// Trials records how much search produced this entry.
+	Trials int `json:"trials"`
+}
+
+// Log is a thread-safe tuning-log database with hit/miss accounting.
+type Log struct {
+	mu      sync.Mutex
+	entries map[Key]Entry
+
+	// CurrentVersion invalidates entries recorded by older tuners.
+	CurrentVersion int
+
+	Hits, Misses, StaleHits int
+}
+
+// New returns an empty log at tuner version 1.
+func New() *Log {
+	return &Log{entries: make(map[Key]Entry), CurrentVersion: 1}
+}
+
+// Lookup returns the cached entry for a workload. Entries from older
+// tuner versions count as stale (a miss that additionally signals the
+// maintenance burden).
+func (l *Log) Lookup(k Key) (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k.Version = l.CurrentVersion
+	if e, ok := l.entries[k]; ok {
+		l.Hits++
+		return e, true
+	}
+	// Probe older versions for staleness accounting.
+	for v := l.CurrentVersion - 1; v >= 1; v-- {
+		k.Version = v
+		if _, ok := l.entries[k]; ok {
+			l.StaleHits++
+			break
+		}
+	}
+	l.Misses++
+	return Entry{}, false
+}
+
+// Record stores a tuning result at the current version.
+func (l *Log) Record(k Key, e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	k.Version = l.CurrentVersion
+	l.entries[k] = e
+}
+
+// Len returns the number of stored entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// HitRate returns hits / lookups (0 when never queried).
+func (l *Log) HitRate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.Hits + l.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Hits) / float64(total)
+}
+
+// jsonEntry is the serialization record (maps with struct keys do not
+// round-trip through encoding/json).
+type jsonEntry struct {
+	Key   Key   `json:"key"`
+	Entry Entry `json:"entry"`
+}
+
+// Save writes the database as JSON (the on-disk format TopHub-style
+// registries ship).
+func (l *Log) Save(w io.Writer) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rows := make([]jsonEntry, 0, len(l.entries))
+	for k, e := range l.entries {
+		rows = append(rows, jsonEntry{Key: k, Entry: e})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key.String() < rows[j].Key.String() })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// Load merges a saved database into this one.
+func (l *Log) Load(r io.Reader) error {
+	var rows []jsonEntry
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return fmt.Errorf("tunelog: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, row := range rows {
+		l.entries[row.Key] = row.Entry
+	}
+	return nil
+}
+
+// GemmKey builds the key for a GEMM task.
+func GemmKey(m, n, k int, device string) Key {
+	return Key{Kind: "gemm", M: m, N: n, K: k, Device: device, Version: 1}
+}
+
+// ConvKey builds the key for a conv task on its implicit-GEMM dims.
+func ConvKey(m, n, k int, device string) Key {
+	return Key{Kind: "conv2d", M: m, N: n, K: k, Device: device, Version: 1}
+}

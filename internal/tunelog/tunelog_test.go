@@ -1,0 +1,102 @@
+package tunelog
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"bolt/internal/ansor"
+)
+
+func sched() ansor.Schedule {
+	return ansor.Schedule{TileM: 64, TileN: 64, TileK: 16, ThreadM: 8, ThreadN: 8, Vec: 8, Unroll: 64}
+}
+
+func TestLookupRecord(t *testing.T) {
+	l := New()
+	k := GemmKey(1280, 3072, 768, "t4")
+	if _, ok := l.Lookup(k); ok {
+		t.Fatal("empty log hit")
+	}
+	l.Record(k, Entry{Schedule: sched(), TimeSeconds: 1e-4, Trials: 2000})
+	e, ok := l.Lookup(k)
+	if !ok || e.Trials != 2000 {
+		t.Fatal("recorded entry not found")
+	}
+	// A different shape must miss — the dynamic-shape failure mode.
+	if _, ok := l.Lookup(GemmKey(1281, 3072, 768, "t4")); ok {
+		t.Error("near-miss shape must not hit")
+	}
+	// A different device must miss.
+	if _, ok := l.Lookup(GemmKey(1280, 3072, 768, "a100")); ok {
+		t.Error("different device must not hit")
+	}
+	if l.Hits != 1 || l.Misses != 3 {
+		t.Errorf("hits %d misses %d, want 1/3", l.Hits, l.Misses)
+	}
+	if l.HitRate() != 0.25 {
+		t.Errorf("hit rate %f", l.HitRate())
+	}
+}
+
+func TestVersionStaleness(t *testing.T) {
+	l := New()
+	k := GemmKey(512, 512, 512, "t4")
+	l.Record(k, Entry{Schedule: sched(), TimeSeconds: 1e-5, Trials: 900})
+	// Tuner upgrade: old entries stop matching and count as stale.
+	l.CurrentVersion = 2
+	if _, ok := l.Lookup(k); ok {
+		t.Fatal("stale entry served after version bump")
+	}
+	if l.StaleHits != 1 {
+		t.Errorf("stale hits %d, want 1 (the maintenance-burden signal)", l.StaleHits)
+	}
+	// Re-recording at the new version restores hits.
+	l.Record(k, Entry{Schedule: sched(), TimeSeconds: 9e-6, Trials: 900})
+	if _, ok := l.Lookup(k); !ok {
+		t.Error("re-tuned entry must hit")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	l := New()
+	l.Record(GemmKey(1024, 1024, 1024, "t4"), Entry{Schedule: sched(), TimeSeconds: 3e-4, Trials: 2000})
+	l.Record(ConvKey(100352, 64, 576, "t4"), Entry{Schedule: sched(), TimeSeconds: 6e-4, Trials: 900})
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l2 := New()
+	if err := l2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("loaded %d entries, want 2", l2.Len())
+	}
+	e, ok := l2.Lookup(GemmKey(1024, 1024, 1024, "t4"))
+	if !ok || e.TimeSeconds != 3e-4 {
+		t.Error("round-tripped entry wrong")
+	}
+	if err := l2.Load(bytes.NewBufferString("not json")); err == nil {
+		t.Error("corrupt database must error")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	l := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := GemmKey(64*i, 64, 64, "t4")
+			l.Record(k, Entry{Schedule: sched(), TimeSeconds: 1e-6})
+			l.Lookup(k)
+			l.Lookup(GemmKey(1, 2, 3, "t4"))
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 16 || l.Hits != 16 || l.Misses != 16 {
+		t.Errorf("concurrent accounting wrong: len %d hits %d misses %d", l.Len(), l.Hits, l.Misses)
+	}
+}
