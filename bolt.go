@@ -22,6 +22,8 @@
 package bolt
 
 import (
+	"fmt"
+	"os"
 	"time"
 
 	"bolt/internal/ansor"
@@ -32,6 +34,7 @@ import (
 	"bolt/internal/relay"
 	"bolt/internal/rt"
 	"bolt/internal/tensor"
+	"bolt/internal/tunelog"
 )
 
 // Re-exported core types. The implementation lives in internal
@@ -49,6 +52,9 @@ type (
 	Module = rt.Module
 	// Tensor is a dense n-dimensional array.
 	Tensor = tensor.Tensor
+	// TuningStats reports what the compilation pipeline's tuning stages
+	// did: workload counts, dedup, cache hits, and measurements.
+	TuningStats = rt.TuningStats
 	// Activation enumerates epilogue nonlinearities.
 	Activation = cutlass.Activation
 	// ConvShape describes a convolution problem.
@@ -98,14 +104,72 @@ type Options struct {
 	EmitSource bool
 	// Seed controls baseline search randomness.
 	Seed int64
+	// CacheFile names a persistent tuning-log database (JSON). If the
+	// file exists it is loaded before compilation — workloads found in
+	// it skip profiling entirely — and the (possibly grown) database is
+	// written back afterwards. A warm recompile of the same model
+	// performs zero measurements.
+	CacheFile string
+	// Jobs is the number of concurrent profiling workers. TuningTime
+	// reports the pool's critical path (max across workers), so more
+	// jobs means honestly less simulated tuning time. Values < 1 mean 1.
+	Jobs int
 }
 
 // CompileResult bundles the module with tuning metadata.
 type CompileResult struct {
 	Module *Module
 	// TuningTime is the simulated wall-clock cost of auto-tuning
-	// (profiling for Bolt; search for the baseline).
+	// (profiling for Bolt; search for the baseline). With Jobs > 1 the
+	// profiling portion is the pool's critical path, not the sum.
 	TuningTime time.Duration
+	// Tuning breaks the pipeline's work down: total and unique
+	// workloads, cache hits (unique workloads resolved from CacheFile
+	// without measuring), and candidate kernels actually measured.
+	Tuning TuningStats
+}
+
+// loadCache reads the tuning-log database at path, returning an empty
+// log when the file does not yet exist (a cold cache is not an error).
+func loadCache(path string) (*tunelog.Log, error) {
+	log := tunelog.New()
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return log, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bolt: opening cache: %w", err)
+	}
+	defer f.Close()
+	if err := log.Load(f); err != nil {
+		return nil, fmt.Errorf("bolt: loading cache %s: %w", path, err)
+	}
+	return log, nil
+}
+
+// saveCache writes the tuning-log database back to path atomically
+// (temp file + rename), so an interrupted compile never leaves a
+// truncated database behind.
+func saveCache(log *tunelog.Log, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("bolt: writing cache: %w", err)
+	}
+	if err := log.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("bolt: writing cache %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bolt: writing cache %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("bolt: writing cache: %w", err)
+	}
+	return nil
 }
 
 // Compile optimizes and compiles a graph for the device.
@@ -136,14 +200,28 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 	if err := relay.Optimize(g, dev); err != nil {
 		return nil, err
 	}
+	var cache *tunelog.Log
+	if opts.CacheFile != "" {
+		var err error
+		if cache, err = loadCache(opts.CacheFile); err != nil {
+			return nil, err
+		}
+	}
 	p := profiler.New(dev, &clock)
 	m, err := codegen.Compile(g, dev, codegen.Options{
 		Tuner:      codegen.TunerBolt,
 		Profiler:   p,
+		Log:        cache,
+		Jobs:       opts.Jobs,
 		EmitSource: opts.EmitSource,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cache != nil {
+		if err := saveCache(cache, opts.CacheFile); err != nil {
+			return nil, err
+		}
 	}
 	// Charge the final module build (instantiating and compiling each
 	// selected template into the runtime file).
@@ -154,7 +232,11 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 		}
 	}
 	clock.Advance(30 + 8*float64(kernels))
-	return &CompileResult{Module: m, TuningTime: clock.ElapsedDuration()}, nil
+	return &CompileResult{
+		Module:     m,
+		TuningTime: clock.ElapsedDuration(),
+		Tuning:     m.Tuning,
+	}, nil
 }
 
 // ProfileGemm searches the templated-kernel parameter space for one
@@ -175,7 +257,7 @@ func ProfileGemm(dev *Device, m, n, k int) (GemmConfig, float64, error) {
 func ProfileConv(dev *Device, s ConvShape) (GemmConfig, float64, error) {
 	p := profiler.New(dev, nil)
 	p.Measure.NoiseStdDev = 0
-	res, err := p.ProfileConv(s)
+	res, err := p.ProfileConv(profiler.ConvWorkload{Shape: s, DType: tensor.FP16})
 	if err != nil {
 		return GemmConfig{}, 0, err
 	}

@@ -1,0 +1,161 @@
+package bolt_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bolt"
+)
+
+// buildBERTish constructs a multi-GEMM encoder slice at BERT-base
+// dimensions (batch 32, seq 40): several projection GEMMs sharing one
+// shape plus the two FFN GEMMs — the workload mix of paper Figure 1.
+func buildBERTish() *bolt.Graph {
+	b := bolt.NewBuilder()
+	x := b.Input("x", bolt.FP16, 1280, 768)
+	q := b.Dense(x, b.Weight("wq", 768, 768))
+	k := b.Dense(x, b.Weight("wk", 768, 768))
+	v := b.Dense(x, b.Weight("wv", 768, 768))
+	attn := b.Add(b.Add(q, k), v)
+	attn = b.Dense(attn, b.Weight("wo", 768, 768))
+	f := b.Dense(attn, b.Weight("w1", 768, 3072))
+	f = b.Activation(f, bolt.GELU)
+	f = b.Dense(f, b.Weight("w2", 3072, 768))
+	return b.Build(b.Add(attn, f))
+}
+
+// buildAttentionHeads builds a model whose 12 attention-projection
+// GEMMs are all the same workload — dedup must profile it once.
+func buildAttentionHeads() *bolt.Graph {
+	b := bolt.NewBuilder()
+	x := b.Input("x", bolt.FP16, 1280, 768)
+	sum := b.Dense(x, b.Weight("w0", 768, 768))
+	for i := 1; i < 12; i++ {
+		h := b.Dense(x, b.Weight("w"+string(rune('a'+i)), 768, 768))
+		sum = b.Add(sum, h)
+	}
+	return b.Build(sum)
+}
+
+// TestWarmCacheRecompileMeasuresNothing: a second compile of the same
+// model through a CacheFile must resolve every workload from the log
+// and perform zero profiler measurements.
+func TestWarmCacheRecompileMeasuresNothing(t *testing.T) {
+	dev := bolt.T4()
+	cache := filepath.Join(t.TempDir(), "tune.json")
+
+	cold, err := bolt.Compile(buildTiny(), dev, bolt.Options{CacheFile: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Tuning.Measurements == 0 || cold.Tuning.ProfiledWorkloads == 0 {
+		t.Fatalf("cold compile measured nothing: %+v", cold.Tuning)
+	}
+	if cold.Tuning.CacheHits != 0 {
+		t.Errorf("cold compile hit a fresh cache %d times", cold.Tuning.CacheHits)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+
+	warm, err := bolt.Compile(buildTiny(), dev, bolt.Options{CacheFile: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Tuning.Measurements != 0 {
+		t.Errorf("warm recompile measured %d candidates, want 0", warm.Tuning.Measurements)
+	}
+	if warm.Tuning.ProfiledWorkloads != 0 {
+		t.Errorf("warm recompile profiled %d workloads, want 0", warm.Tuning.ProfiledWorkloads)
+	}
+	if warm.Tuning.CacheHits != warm.Tuning.UniqueWorkloads {
+		t.Errorf("cache hits %d != unique workloads %d", warm.Tuning.CacheHits, warm.Tuning.UniqueWorkloads)
+	}
+	if warm.TuningTime >= cold.TuningTime {
+		t.Errorf("warm tuning time %v not below cold %v", warm.TuningTime, cold.TuningTime)
+	}
+	// The cached selection must reproduce the cold module exactly.
+	if warm.Module.Time() != cold.Module.Time() {
+		t.Errorf("warm module time %g != cold %g", warm.Module.Time(), cold.Module.Time())
+	}
+	assertSameKernels(t, cold, warm)
+}
+
+// TestJobsDeterministicAndFaster: the profiling pool must not change
+// which kernels are selected, and its tuning time must model
+// concurrency honestly (critical path < serial time).
+func TestJobsDeterministicAndFaster(t *testing.T) {
+	dev := bolt.T4()
+	serial, err := bolt.Compile(buildBERTish(), dev, bolt.Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := bolt.Compile(buildBERTish(), dev, bolt.Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Tuning.UniqueWorkloads < 3 {
+		t.Fatalf("model should present >= 3 unique GEMM workloads, got %d", serial.Tuning.UniqueWorkloads)
+	}
+	assertSameKernels(t, serial, pool)
+	if pool.TuningTime >= serial.TuningTime {
+		t.Errorf("Jobs:8 tuning time %v not strictly below Jobs:1 %v", pool.TuningTime, serial.TuningTime)
+	}
+	// Same Jobs value must reproduce the same tuning time (static
+	// partitioning keeps the critical path deterministic).
+	again, err := bolt.Compile(buildBERTish(), dev, bolt.Options{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TuningTime != pool.TuningTime {
+		t.Errorf("Jobs:8 tuning time not deterministic: %v vs %v", again.TuningTime, pool.TuningTime)
+	}
+}
+
+// TestDedupProfilesRepeatedWorkloadOnce: 12 identical attention GEMMs
+// collapse to a single profiled task.
+func TestDedupProfilesRepeatedWorkloadOnce(t *testing.T) {
+	dev := bolt.T4()
+	res, err := bolt.Compile(buildAttentionHeads(), dev, bolt.Options{Jobs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tuning.Workloads != 12 {
+		t.Fatalf("extracted %d workloads, want 12", res.Tuning.Workloads)
+	}
+	if res.Tuning.UniqueWorkloads != 1 {
+		t.Errorf("dedup left %d unique workloads, want 1", res.Tuning.UniqueWorkloads)
+	}
+	if res.Tuning.ProfiledWorkloads != 1 {
+		t.Errorf("profiled %d workloads, want 1", res.Tuning.ProfiledWorkloads)
+	}
+	// All 12 Dense kernels must still lower, sharing the one result.
+	dense := 0
+	for i := range res.Module.Kernels {
+		if res.Module.Kernels[i].Node.Op.String() == "dense" {
+			dense++
+		}
+	}
+	if dense != 12 {
+		t.Errorf("%d dense kernels lowered, want 12", dense)
+	}
+}
+
+// assertSameKernels requires two compiles to have produced the same
+// kernel selection (names and modeled times).
+func assertSameKernels(t *testing.T, a, b *bolt.CompileResult) {
+	t.Helper()
+	ka, kb := a.Module.Kernels, b.Module.Kernels
+	if len(ka) != len(kb) {
+		t.Fatalf("kernel count differs: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i].Name != kb[i].Name {
+			t.Errorf("kernel %d name differs: %s vs %s", i, ka[i].Name, kb[i].Name)
+		}
+		if ka[i].Desc != kb[i].Desc {
+			t.Errorf("kernel %d desc differs (%s)", i, ka[i].Name)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 //	boltc -model repvgg-a0
 //	boltc -model resnet50 -baseline -trials 128
 //	boltc -model vgg16 -emit        # print generated kernel sources
+//	boltc -model repvgg-a0 -cache tune.json -jobs 8
+//	boltc -model repvgg-a0 -cache tune.json   # warm: zero measurements
 package main
 
 import (
@@ -50,18 +52,27 @@ func main() {
 	trials := flag.Int("trials", 900, "baseline tuning trials per task")
 	emit := flag.Bool("emit", false, "print generated kernel source")
 	topk := flag.Int("report", 10, "show the k slowest kernels")
+	cacheFile := flag.String("cache", "", "persistent tuning-log database (JSON); loaded before compiling, saved after")
+	jobs := flag.Int("jobs", 1, "concurrent profiling workers (tuning time reports the pool's critical path)")
 	flag.Parse()
+	if *jobs < 1 {
+		*jobs = 1
+	}
 
 	g := buildModel(*model, *batch)
 	if g == nil {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 		os.Exit(2)
 	}
+	if *baseline && (*cacheFile != "" || *jobs > 1) {
+		fmt.Fprintln(os.Stderr, "warning: -cache and -jobs apply to the Bolt pipeline only; ignored with -baseline")
+	}
 	dev := bolt.T4()
 
 	t0 := time.Now()
 	res, err := bolt.Compile(g, dev, bolt.Options{
 		Baseline: *baseline, BaselineTrials: *trials, EmitSource: *emit,
+		CacheFile: *cacheFile, Jobs: *jobs,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -77,6 +88,11 @@ func main() {
 	fmt.Printf("tuner: %s\n", tuner)
 	fmt.Printf("compile wall time: %v   simulated tuning time: %v\n",
 		time.Since(t0).Round(time.Millisecond), res.TuningTime.Round(time.Second))
+	if !*baseline {
+		fmt.Printf("tuning pipeline: %d workloads -> %d unique, %d cache hits, %d profiled (%d candidate measurements, jobs=%d)\n",
+			res.Tuning.Workloads, res.Tuning.UniqueWorkloads, res.Tuning.CacheHits,
+			res.Tuning.ProfiledWorkloads, res.Tuning.Measurements, *jobs)
+	}
 	fmt.Printf("kernel launches per batch: %d\n", m.LaunchCount())
 	fmt.Printf("modeled latency: %.3f ms   throughput: %.0f images/sec\n",
 		m.Time()*1e3, m.Throughput(*batch))

@@ -69,7 +69,7 @@ func main() {
 		}
 		shape := cutlass.ConvShape{N: dims[0], H: dims[1], W: dims[2], IC: dims[3], OC: dims[4],
 			KH: dims[5], KW: dims[5], StrideH: dims[6], StrideW: dims[6], PadH: dims[7], PadW: dims[7]}
-		res, err := p.ProfileConv(shape)
+		res, err := p.ProfileConv(profiler.ConvWorkload{Shape: shape, DType: tensor.FP16})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,3 @@
+module bolt
+
+go 1.24

@@ -20,7 +20,7 @@ import (
 
 // AblationIDs lists the extension experiments.
 func AblationIDs() []string {
-	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8"}
+	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache"}
 }
 
 // AblationByID returns the regenerator for an ablation id.
@@ -34,6 +34,7 @@ func (s *Suite) AblationByID(id string) func() *Table {
 		"ext-dyn":       s.ExtensionDynamicShapes,
 		"ext-chain":     s.ExtensionDeepChains,
 		"ext-int8":      s.ExtensionINT8,
+		"ext-cache":     s.ExtensionCompileCache,
 	}
 	return m[id]
 }
@@ -253,7 +254,7 @@ func (s *Suite) ExtensionDynamicShapes() *Table {
 	db := tunelog.New()
 	staticTuner, _ := s.newAnsor()
 	staticRes := staticTuner.TuneGemm(32*40, 3072, 768, trials, tensor.FP16)
-	db.Record(tunelog.GemmKey(32*40, 3072, 768, s.Dev.Arch.String()),
+	db.Record(tunelog.GemmKey(32*40, 3072, 768, tensor.FP16, s.Dev.Arch.String()),
 		tunelog.Entry{Schedule: staticRes.Schedule, TimeSeconds: staticRes.Time, Trials: trials})
 
 	for _, seq := range []int{16, 40, 64, 128, 256} {
@@ -267,7 +268,7 @@ func (s *Suite) ExtensionDynamicShapes() *Table {
 
 		var ansorTime, ansorCost float64
 		cache := "miss"
-		if e, ok := db.Lookup(tunelog.GemmKey(m, 3072, 768, s.Dev.Arch.String())); ok {
+		if e, ok := db.Lookup(tunelog.GemmKey(m, 3072, 768, tensor.FP16, s.Dev.Arch.String())); ok {
 			// Cache hit: the stored schedule is reused for free.
 			cache = "hit"
 			ansorTime = e.TimeSeconds

@@ -111,7 +111,7 @@ func (s *Suite) Figure8b() *Table {
 	}
 	p, _ := s.newProfiler()
 	for _, shape := range fig8bWorkloads() {
-		res, err := p.ProfileConv(shape)
+		res, err := p.ProfileConv(profiler.ConvWorkload{Shape: shape, DType: tensor.FP16})
 		if err != nil {
 			panic(err)
 		}
@@ -172,7 +172,7 @@ func (s *Suite) Figure9b() *Table {
 	}
 	shape := cutlass.Conv3x3(32, 56, 56, 64, 64, 1, 1)
 	p, _ := s.newProfiler()
-	res, err := p.ProfileConv(shape)
+	res, err := p.ProfileConv(profiler.ConvWorkload{Shape: shape, DType: tensor.FP16})
 	if err != nil {
 		panic(err)
 	}
@@ -271,7 +271,7 @@ func (s *Suite) Table3() *Table {
 	for _, w := range models.Table3Workloads() {
 		shape := w.Shape()
 		// Unpadded: profile with the native (unaligned) channels.
-		resU, err := p.ProfileConv(shape)
+		resU, err := p.ProfileConv(profiler.ConvWorkload{Shape: shape, DType: tensor.FP16})
 		if err != nil {
 			panic(err)
 		}
@@ -280,7 +280,7 @@ func (s *Suite) Table3() *Table {
 		// Padded: channels rounded to 8; alignment-8 kernel + pad copy.
 		padded := shape
 		padded.IC = (shape.IC + 7) / 8 * 8
-		resP, err := p.ProfileConv(padded)
+		resP, err := p.ProfileConv(profiler.ConvWorkload{Shape: padded, DType: tensor.FP16})
 		if err != nil {
 			panic(err)
 		}

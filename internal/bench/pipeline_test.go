@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExtensionCompileCache pins the pipeline's two claims: warm
+// recompiles through the tuning log measure nothing, and widening the
+// profiling pool shrinks the cold critical path.
+func TestExtensionCompileCache(t *testing.T) {
+	tab := quick().ExtensionCompileCache()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	prevCold := 1e18
+	for i := range tab.Rows {
+		var cold, warm int
+		if _, err := fmt.Sscanf(cell(t, tab, i, "measurements"), "%d -> %d", &cold, &warm); err != nil {
+			t.Fatalf("row %d measurements cell: %v", i, err)
+		}
+		if cold == 0 {
+			t.Errorf("row %d: cold compile measured nothing", i)
+		}
+		if warm != 0 {
+			t.Errorf("row %d: warm recompile measured %d candidates, want 0", i, warm)
+		}
+		var coldT, warmT float64
+		if _, err := fmt.Sscanf(cell(t, tab, i, "cold tune"), "%fs", &coldT); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(cell(t, tab, i, "warm tune"), "%fs", &warmT); err != nil {
+			t.Fatal(err)
+		}
+		if warmT != 0 {
+			t.Errorf("row %d: warm tuning time %.2fs, want 0", i, warmT)
+		}
+		if coldT > prevCold {
+			t.Errorf("row %d: more jobs made the critical path longer (%.1fs > %.1fs)", i, coldT, prevCold)
+		}
+		prevCold = coldT
+	}
+	// Jobs must actually buy wall-clock: the widest pool beats serial.
+	var first, last float64
+	fmt.Sscanf(cell(t, tab, 0, "cold tune"), "%fs", &first)
+	fmt.Sscanf(cell(t, tab, 3, "cold tune"), "%fs", &last)
+	if last >= first {
+		t.Errorf("8-way pool (%.1fs) not faster than serial (%.1fs)", last, first)
+	}
+}

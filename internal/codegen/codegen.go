@@ -26,6 +26,7 @@ import (
 	"bolt/internal/relay"
 	"bolt/internal/rt"
 	"bolt/internal/tensor"
+	"bolt/internal/tunelog"
 )
 
 // TunerKind selects the backend.
@@ -45,6 +46,14 @@ type Options struct {
 	// Profiler is required for TunerBolt.
 	Profiler *profiler.Profiler
 
+	// Log is an optional persistent tuning cache (TunerBolt): workloads
+	// found in it skip measurement entirely, and freshly profiled
+	// workloads are recorded back.
+	Log *tunelog.Log
+
+	// Jobs is the profiling pool width (TunerBolt). Values < 1 mean 1.
+	Jobs int
+
 	// AnsorTuner and AnsorTrials are required for TunerAnsor; trials is
 	// the measured-candidate budget per distinct workload ("task").
 	AnsorTuner  *ansor.Tuner
@@ -57,12 +66,28 @@ type Options struct {
 // Compile lowers the graph. For TunerBolt the graph should already be
 // optimized (relay.Optimize); for TunerAnsor it should carry TVM-level
 // fusion only (fold BN + fuse epilogue).
+//
+// For TunerBolt, compilation is a staged pipeline (see pipeline.go):
+// workload extraction, dedup + cache lookup, a parallel profiling
+// pool, and a lowering pass that never blocks on measurement. The
+// module's Tuning field reports what each stage did.
 func Compile(g *relay.Graph, dev *gpu.Device, opts Options) (*rt.Module, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	c := &compiler{g: g, dev: dev, opts: opts, ansorCache: map[string]ansor.Result{}}
 	m := &rt.Module{Graph: g, Device: dev}
+	if opts.Tuner == TunerBolt {
+		if opts.Profiler == nil {
+			return nil, fmt.Errorf("codegen: TunerBolt requires a profiler")
+		}
+		resolved, stats, err := runTuningPipeline(g, dev, opts)
+		if err != nil {
+			return nil, fmt.Errorf("codegen: tuning pipeline: %w", err)
+		}
+		c.resolved = resolved
+		m.Tuning = stats
+	}
 	for _, n := range g.Nodes {
 		k, err := c.lower(n)
 		if err != nil {
@@ -78,6 +103,30 @@ type compiler struct {
 	dev        *gpu.Device
 	opts       Options
 	ansorCache map[string]ansor.Result
+	// resolved maps tuning tasks to their selected configs (stage 4's
+	// input; filled by the tuning pipeline for TunerBolt).
+	resolved map[tunelog.Key]profiler.Result
+}
+
+// gemmResult returns the resolved config for a dense workload. Every
+// TunerBolt task must have been covered by the tuning pipeline; a miss
+// means extraction and lowering drifted apart, which must fail loudly
+// rather than silently serial-profile with broken accounting.
+func (c *compiler) gemmResult(w profiler.GemmWorkload) (profiler.Result, error) {
+	key := gemmTaskKey(w, c.dev)
+	if r, ok := c.resolved[key]; ok {
+		return r, nil
+	}
+	return profiler.Result{}, fmt.Errorf("tuning pipeline did not resolve %s", key)
+}
+
+// convResult is the convolution counterpart of gemmResult.
+func (c *compiler) convResult(s cutlass.ConvShape, dt tensor.DType) (profiler.Result, error) {
+	key := convTaskKey(s, dt, c.dev)
+	if r, ok := c.resolved[key]; ok {
+		return r, nil
+	}
+	return profiler.Result{}, fmt.Errorf("tuning pipeline did not resolve %s", key)
 }
 
 func (c *compiler) lower(n *relay.Node) (rt.Kernel, error) {
@@ -189,8 +238,8 @@ func epilogueOf(n *relay.Node) cutlass.Epilogue {
 
 func (c *compiler) lowerDense(n *relay.Node) (rt.Kernel, error) {
 	x, w := n.Inputs[0], n.Inputs[1]
-	m, k := x.Shape[0], x.Shape[1]
-	nn := w.Shape[1]
+	wl := denseWorkload(n)
+	m, nn, k := wl.M, wl.N, wl.K
 	epi := epilogueOf(n)
 	var bias *relay.Node
 	if len(n.Inputs) > 2 {
@@ -201,7 +250,7 @@ func (c *compiler) lowerDense(n *relay.Node) (rt.Kernel, error) {
 		return c.lowerAnsorGemm(n, x, w, bias, m, nn, k, epi)
 	}
 
-	res, err := c.opts.Profiler.ProfileGemm(profiler.GemmWorkload{M: m, N: nn, K: k, DType: n.DType})
+	res, err := c.gemmResult(wl)
 	if err != nil {
 		return rt.Kernel{}, err
 	}
@@ -232,7 +281,7 @@ func (c *compiler) lowerConv(n *relay.Node) (rt.Kernel, error) {
 		return c.lowerAnsorConv(n, x, w, bias, shape, epi)
 	}
 
-	res, err := c.opts.Profiler.ProfileConv(shape)
+	res, err := c.convResult(shape, n.DType)
 	if err != nil {
 		return rt.Kernel{}, err
 	}

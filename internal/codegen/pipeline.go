@@ -1,0 +1,225 @@
+// The Bolt tuning pipeline: compilation is staged so that nothing
+// downstream ever blocks on a measurement it did not need.
+//
+//  1. workload extraction — walk the optimized graph and collect every
+//     GEMM/Conv tuning task;
+//  2. dedup + cache lookup — identical workloads collapse to one task,
+//     and tasks present in the persistent tuning log (tunelog) skip
+//     measurement entirely;
+//  3. parallel profiling — unresolved tasks fan out across a worker
+//     pool. Each worker owns a gpu.Clock; the pipeline's tuning cost
+//     is the pool's critical path (max across workers, not the sum),
+//     plus the shared sample-program generation stage, which is
+//     compiled once and parallelized across the same workers;
+//  4. lowering — consumes resolved configs without measuring anything.
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/profiler"
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+	"bolt/internal/tensor"
+	"bolt/internal/tunelog"
+)
+
+// tuningTask is one unique tuning workload (either a GEMM or a Conv).
+type tuningTask struct {
+	key    tunelog.Key
+	gemm   profiler.GemmWorkload
+	conv   profiler.ConvWorkload
+	isConv bool
+}
+
+// gemmTaskKey keys a dense workload for dedup and the tuning log.
+func gemmTaskKey(w profiler.GemmWorkload, dev *gpu.Device) tunelog.Key {
+	return tunelog.GemmKey(w.M, w.N, w.K, w.DType, dev.Name)
+}
+
+// convTaskKey keys a convolution workload.
+func convTaskKey(s cutlass.ConvShape, dt tensor.DType, dev *gpu.Device) tunelog.Key {
+	return tunelog.ConvKey(s, dt, dev.Name)
+}
+
+// denseWorkload reads the GEMM problem off a Dense node.
+func denseWorkload(n *relay.Node) profiler.GemmWorkload {
+	x, w := n.Inputs[0], n.Inputs[1]
+	return profiler.GemmWorkload{M: x.Shape[0], N: w.Shape[1], K: x.Shape[1], DType: n.DType}
+}
+
+// extractWorkloads is stage 1: collect every tuning task in the graph,
+// deduplicated in first-appearance order. total counts tasks before
+// dedup.
+func extractWorkloads(g *relay.Graph, dev *gpu.Device) (unique []tuningTask, total int) {
+	seen := make(map[tunelog.Key]bool)
+	for _, n := range g.Nodes {
+		var t tuningTask
+		switch n.Op {
+		case relay.OpDense:
+			w := denseWorkload(n)
+			t = tuningTask{key: gemmTaskKey(w, dev), gemm: w}
+		case relay.OpConv2D:
+			t = tuningTask{key: convTaskKey(n.Conv, n.DType, dev), conv: profiler.ConvWorkload{Shape: n.Conv, DType: n.DType}, isConv: true}
+		default:
+			continue
+		}
+		total++
+		if !seen[t.key] {
+			seen[t.key] = true
+			unique = append(unique, t)
+		}
+	}
+	return unique, total
+}
+
+// candidateNames enumerates the distinct sample programs a task's
+// search would build (stage 3's shared pre-generation set).
+func candidateNames(p *profiler.Profiler, t tuningTask) []string {
+	var cfgs []cutlass.GemmConfig
+	if t.isConv {
+		cfgs = p.ConvCandidates(t.conv)
+	} else {
+		cfgs = p.GemmCandidates(t.gemm)
+	}
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// cacheUsable reports whether a cached config can actually lower the
+// task on this device (a corrupt or foreign entry must fall through to
+// profiling rather than produce an unlaunchable kernel).
+func cacheUsable(e tunelog.Entry, t tuningTask, dev *gpu.Device) bool {
+	if e.Config.Validate(dev) != nil {
+		return false
+	}
+	if t.isConv {
+		conv := &cutlass.Conv2D{Shape: t.conv.Shape, Config: e.Config, Epilogue: cutlass.DefaultEpilogue()}
+		return conv.SupportsProblem()
+	}
+	return e.Config.SupportsProblem(t.gemm.M, t.gemm.N, t.gemm.K)
+}
+
+// runTuningPipeline executes stages 1-3 and returns the resolved
+// config for every tuning task in the graph. It charges the prototype
+// profiler's clock with the pipeline's critical-path cost.
+func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunelog.Key]profiler.Result, rt.TuningStats, error) {
+	proto := opts.Profiler
+	var stats rt.TuningStats
+
+	// Stage 1: extraction.
+	unique, total := extractWorkloads(g, dev)
+	stats.Workloads = total
+	stats.UniqueWorkloads = len(unique)
+
+	// Stage 2: cache lookup. Hits skip measurement entirely.
+	resolved := make(map[tunelog.Key]profiler.Result, len(unique))
+	var pending []tuningTask
+	for _, t := range unique {
+		if opts.Log != nil {
+			if e, ok := opts.Log.Lookup(t.key); ok && cacheUsable(e, t, dev) {
+				resolved[t.key] = profiler.Result{Config: e.Config, Time: e.TimeSeconds}
+				stats.CacheHits++
+				continue
+			}
+		}
+		pending = append(pending, t)
+	}
+	if len(pending) == 0 {
+		return resolved, stats, nil
+	}
+
+	// jobs is the requested pool width; the measurement pool below
+	// additionally caps it at the task count (a worker without a task
+	// contributes nothing), but the sample-program stage parallelizes
+	// over the full requested width — nvcc invocations are independent
+	// of how many workloads need them.
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = 1
+	}
+	poolJobs := jobs
+	if poolJobs > len(pending) {
+		poolJobs = len(pending)
+	}
+
+	// Stage 3a: shared sample-program generation. Templates are
+	// compiled once per distinct config — never per workload, never per
+	// worker — and the nvcc invocations are independent, so the stage's
+	// cost is the parallel critical path over the worker count.
+	distinct := make(map[string]bool)
+	var names []string
+	for _, t := range pending {
+		for _, name := range candidateNames(proto, t) {
+			if !distinct[name] {
+				distinct[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	stats.SamplePrograms = len(names)
+	batches := (len(names) + jobs - 1) / jobs
+	compileSeconds := float64(batches) * proto.CompileLatency
+
+	// Stage 3b: the measurement pool. Tasks are statically partitioned
+	// round-robin so the critical path (and therefore the reported
+	// tuning time) is deterministic for a given Jobs value.
+	results := make([]profiler.Result, len(pending))
+	errs := make([]error, len(pending))
+	clocks := make([]gpu.Clock, poolJobs)
+	var wg sync.WaitGroup
+	for w := 0; w < poolJobs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := proto.Worker(&clocks[w], names)
+			for i := w; i < len(pending); i += poolJobs {
+				t := pending[i]
+				if t.isConv {
+					results[i], errs[i] = worker.ProfileConv(t.conv)
+				} else {
+					results[i], errs[i] = worker.ProfileGemm(t.gemm)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	measureSeconds := 0.0
+	for w := range clocks {
+		if e := clocks[w].Elapsed(); e > measureSeconds {
+			measureSeconds = e
+		}
+	}
+	stats.TuningSeconds = compileSeconds + measureSeconds
+
+	for i, t := range pending {
+		if errs[i] != nil {
+			return nil, stats, fmt.Errorf("profiling %s: %w", t.key, errs[i])
+		}
+		resolved[t.key] = results[i]
+		stats.ProfiledWorkloads++
+		stats.Measurements += results[i].Candidates
+		if opts.Log != nil {
+			opts.Log.Record(t.key, tunelog.Entry{
+				Config:      results[i].Config,
+				TimeSeconds: results[i].Time,
+				Trials:      results[i].Candidates,
+			})
+		}
+	}
+
+	// Merge the critical path into the caller's tuning clock.
+	if c := proto.Clock(); c != nil {
+		c.Advance(stats.TuningSeconds)
+	}
+	return resolved, stats, nil
+}

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -10,27 +11,43 @@ import (
 // (the paper's Figure 10b) can be reported without actually burning
 // hours: the simulator executes in microseconds but the clock records
 // what the same work would have cost on the real testbed.
+//
+// Clocks are safe for concurrent use: the profiling pool advances
+// per-worker clocks from multiple goroutines. Do not copy a Clock
+// after first use.
 type Clock struct {
+	mu      sync.Mutex
 	elapsed float64 // seconds
 }
 
 // Advance adds dt seconds (negative values are ignored).
 func (c *Clock) Advance(dt float64) {
-	if dt > 0 {
-		c.elapsed += dt
+	if dt <= 0 {
+		return
 	}
+	c.mu.Lock()
+	c.elapsed += dt
+	c.mu.Unlock()
 }
 
 // Elapsed returns the accumulated simulated seconds.
-func (c *Clock) Elapsed() float64 { return c.elapsed }
+func (c *Clock) Elapsed() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.elapsed
+}
 
 // ElapsedDuration returns the accumulated time as a time.Duration.
 func (c *Clock) ElapsedDuration() time.Duration {
-	return time.Duration(c.elapsed * float64(time.Second))
+	return time.Duration(c.Elapsed() * float64(time.Second))
 }
 
 // Reset zeroes the clock.
-func (c *Clock) Reset() { c.elapsed = 0 }
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	c.elapsed = 0
+	c.mu.Unlock()
+}
 
 // MeasureOptions configures a simulated on-device measurement.
 type MeasureOptions struct {

@@ -1,0 +1,50 @@
+package gpu
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockAdvanceElapsed(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(-3) // ignored
+	c.Advance(0)  // ignored
+	c.Advance(0.5)
+	if got := c.Elapsed(); got != 2.0 {
+		t.Errorf("elapsed %g, want 2.0", got)
+	}
+	if got := c.ElapsedDuration(); got != 2*time.Second {
+		t.Errorf("duration %v, want 2s", got)
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Error("reset did not zero the clock")
+	}
+}
+
+// TestClockConcurrentAdvance is the -race regression test for the
+// profiling pool: many goroutines advance and read one clock. Run with
+// `go test -race`.
+func TestClockConcurrentAdvance(t *testing.T) {
+	var c Clock
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Advance(0.001)
+				_ = c.Elapsed()
+			}
+		}()
+	}
+	wg.Wait()
+	want := float64(workers*perWorker) * 0.001
+	got := c.Elapsed()
+	if diff := got - want; diff < -1e-6 || diff > 1e-6 {
+		t.Errorf("concurrent advances lost updates: elapsed %g, want %g", got, want)
+	}
+}

@@ -63,7 +63,7 @@ func TestConcurrentProfiling(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := p.ProfileConv(shapes[i%len(shapes)]); err != nil {
+			if _, err := p.ProfileConv(ConvWorkload{Shape: shapes[i%len(shapes)], DType: tensor.FP16}); err != nil {
 				errs <- err
 			}
 			if _, err := p.ProfileGemm(GemmWorkload{M: 512, N: 512, K: 512, DType: tensor.FP16}); err != nil {

@@ -20,6 +20,7 @@ package profiler
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
@@ -38,6 +39,14 @@ type GemmWorkload struct {
 // String renders like the paper's workload tables: "(M, N, K)".
 func (w GemmWorkload) String() string { return fmt.Sprintf("(%d, %d, %d)", w.M, w.N, w.K) }
 
+// ConvWorkload identifies one convolution problem: the full shape plus
+// the element type (same-shape convs of different dtypes are distinct
+// tuning tasks, mirroring tunelog.Key).
+type ConvWorkload struct {
+	Shape cutlass.ConvShape
+	DType tensor.DType
+}
+
 // Result is the outcome of profiling one workload.
 type Result struct {
 	Config cutlass.GemmConfig
@@ -53,11 +62,10 @@ type Result struct {
 type Profiler struct {
 	dev   *gpu.Device
 	clock *gpu.Clock
-	rng   *rand.Rand
 
 	mu        sync.Mutex
 	gemmCache map[GemmWorkload]Result
-	convCache map[cutlass.ConvShape]Result
+	convCache map[ConvWorkload]Result
 
 	// CompileLatency is the simulated cost of building one sample
 	// program. Bolt pre-generates them per architecture, so this is
@@ -75,17 +83,41 @@ func New(dev *gpu.Device, clock *gpu.Clock) *Profiler {
 	return &Profiler{
 		dev:            dev,
 		clock:          clock,
-		rng:            rand.New(rand.NewSource(7)),
 		gemmCache:      make(map[GemmWorkload]Result),
-		convCache:      make(map[cutlass.ConvShape]Result),
+		convCache:      make(map[ConvWorkload]Result),
 		CompileLatency: 0.9, // seconds per sample program (nvcc on one template)
 		compiled:       make(map[string]bool),
 		Measure:        gpu.QuickMeasure(),
 	}
 }
 
+// Worker derives a pool worker from a prototype profiler: same device
+// and measurement methodology, but its own clock and caches. Sample
+// programs named in precompiled are treated as already built (the
+// pipeline pre-generates them once and shares them across workers, so
+// no worker re-charges nvcc for a template another already compiled).
+func (p *Profiler) Worker(clock *gpu.Clock, precompiled []string) *Profiler {
+	w := New(p.dev, clock)
+	w.CompileLatency = p.CompileLatency
+	w.Measure = p.Measure
+	for _, name := range precompiled {
+		w.compiled[name] = true
+	}
+	return w
+}
+
 // Clock returns the profiler's tuning clock (may be nil).
 func (p *Profiler) Clock() *gpu.Clock { return p.clock }
+
+// workloadRNG derives a deterministic noise stream from a workload's
+// identity. Measurement noise therefore depends only on the workload,
+// never on profiling order or pool partitioning — Jobs:1 and Jobs:8
+// select identical kernels.
+func workloadRNG(id string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
 
 // alignmentFor returns the widest alignment dividing n.
 func alignmentFor(n int) int {
@@ -214,11 +246,12 @@ func (p *Profiler) ProfileGemm(w GemmWorkload) (Result, error) {
 	if len(cands) == 0 {
 		return Result{}, fmt.Errorf("profiler: no valid candidates for %s", w)
 	}
+	rng := workloadRNG("gemm:" + w.String() + ":" + w.DType.String())
 	best := Result{Time: -1, Candidates: len(cands)}
 	for _, cfg := range cands {
 		p.chargeCompile(cfg.Name())
 		g := &cutlass.Gemm{Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
-		t := gpu.Measure(p.dev, g.Desc(p.dev, w.M, w.N, w.K), p.Measure, p.rng, p.clock)
+		t := gpu.Measure(p.dev, g.Desc(p.dev, w.M, w.N, w.K), p.Measure, rng, p.clock)
 		if best.Time < 0 || t < best.Time {
 			best.Time = t
 			best.Config = cfg
@@ -228,18 +261,13 @@ func (p *Profiler) ProfileGemm(w GemmWorkload) (Result, error) {
 	return best, nil
 }
 
-// ProfileConv measures candidates for a convolution workload.
-func (p *Profiler) ProfileConv(s cutlass.ConvShape) (Result, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if r, ok := p.convCache[s]; ok {
-		return r, nil
-	}
+// ConvCandidates enumerates the architecture-guided configurations for
+// a convolution: the implicit-GEMM candidates with alignments rewritten
+// to follow the channel counts, not the implicit-GEMM dims.
+func (p *Profiler) ConvCandidates(w ConvWorkload) []cutlass.GemmConfig {
+	s := w.Shape
 	m, n, k := s.ImplicitGemm()
-	w := GemmWorkload{M: m, N: n, K: k, DType: tensor.FP16}
-	cands := p.GemmCandidates(w)
-	// Conv alignment follows the channel counts, not the implicit-GEMM
-	// dims.
+	cands := p.GemmCandidates(GemmWorkload{M: m, N: n, K: k, DType: w.DType})
 	ica := alignmentFor(s.IC)
 	oca := alignmentFor(s.OC)
 	filtered := cands[:0]
@@ -250,20 +278,33 @@ func (p *Profiler) ProfileConv(s cutlass.ConvShape) (Result, error) {
 			filtered = append(filtered, cfg)
 		}
 	}
-	if len(filtered) == 0 {
-		return Result{}, fmt.Errorf("profiler: no valid candidates for %v", s)
+	return filtered
+}
+
+// ProfileConv measures candidates for a convolution workload.
+func (p *Profiler) ProfileConv(w ConvWorkload) (Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.convCache[w]; ok {
+		return r, nil
 	}
+	s := w.Shape
+	filtered := p.ConvCandidates(w)
+	if len(filtered) == 0 {
+		return Result{}, fmt.Errorf("profiler: no valid candidates for %v", w)
+	}
+	rng := workloadRNG(fmt.Sprintf("conv:%+v:%s", s, w.DType))
 	best := Result{Time: -1, Candidates: len(filtered)}
 	for _, cfg := range filtered {
 		p.chargeCompile(cfg.Name())
 		conv := &cutlass.Conv2D{Shape: s, Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
-		t := gpu.Measure(p.dev, conv.Desc(p.dev), p.Measure, p.rng, p.clock)
+		t := gpu.Measure(p.dev, conv.Desc(p.dev), p.Measure, rng, p.clock)
 		if best.Time < 0 || t < best.Time {
 			best.Time = t
 			best.Config = cfg
 		}
 	}
-	p.convCache[s] = best
+	p.convCache[w] = best
 	return best, nil
 }
 

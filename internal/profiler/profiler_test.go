@@ -134,7 +134,7 @@ func TestCompileChargedOncePerConfig(t *testing.T) {
 func TestProfileConv(t *testing.T) {
 	p := New(gpu.T4(), nil)
 	s := cutlass.Conv3x3(32, 56, 56, 64, 64, 1, 1)
-	res, err := p.ProfileConv(s)
+	res, err := p.ProfileConv(ConvWorkload{Shape: s, DType: tensor.FP16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestProfileConvUnalignedChannels(t *testing.T) {
 	p := New(gpu.T4(), nil)
 	// IC=46: alignment 2 kernels only.
 	s := cutlass.Conv3x3(32, 20, 26, 46, 32, 1, 1)
-	res, err := p.ProfileConv(s)
+	res, err := p.ProfileConv(ConvWorkload{Shape: s, DType: tensor.FP16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestTuningTimeIsMinutesNotHours(t *testing.T) {
 		cutlass.Conv3x3(32, 7, 7, 512, 512, 1, 1),
 	}
 	for _, s := range shapes {
-		if _, err := p.ProfileConv(s); err != nil {
+		if _, err := p.ProfileConv(ConvWorkload{Shape: s, DType: tensor.FP16}); err != nil {
 			t.Fatal(err)
 		}
 	}

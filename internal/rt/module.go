@@ -57,11 +57,41 @@ func (e *Env) Input(name string) *tensor.Tensor {
 	return v
 }
 
+// TuningStats summarizes the compilation pipeline's tuning work: how
+// many GEMM/Conv tasks the graph presented, how dedup and the
+// persistent tuning cache shrank them, and what the unresolved rest
+// cost to profile. TuningSeconds is the *critical path* of the
+// parallel profiling pool (max across workers, not the sum), so it
+// models concurrent profiling honestly.
+type TuningStats struct {
+	// Workloads is the total number of GEMM/Conv tuning tasks extracted
+	// from the graph (before dedup).
+	Workloads int
+	// UniqueWorkloads is the task count after dedup: repeated shapes
+	// (e.g. BERT's identical attention GEMMs) collapse to one.
+	UniqueWorkloads int
+	// CacheHits is how many unique workloads were resolved from the
+	// persistent tuning log without any measurement.
+	CacheHits int
+	// ProfiledWorkloads is how many unique workloads were measured.
+	ProfiledWorkloads int
+	// Measurements is the total number of candidate kernels measured.
+	Measurements int
+	// SamplePrograms is the number of distinct sample programs
+	// (templates) compiled for this run.
+	SamplePrograms int
+	// TuningSeconds is the simulated critical-path profiling cost.
+	TuningSeconds float64
+}
+
 // Module is a compiled, runnable, priceable model.
 type Module struct {
 	Graph   *relay.Graph
 	Kernels []Kernel
 	Device  *gpu.Device
+	// Tuning reports what compilation's tuning pipeline did (zero for
+	// the baseline tuner, which accounts its search on its own clock).
+	Tuning TuningStats
 }
 
 // Run executes the module functionally and returns the output tensor.

@@ -19,33 +19,58 @@ import (
 	"sync"
 
 	"bolt/internal/ansor"
+	"bolt/internal/cutlass"
+	"bolt/internal/tensor"
 )
 
 // Key identifies a tuning task: operator kind, problem dimensions,
-// target device, and the tuner version that produced the entry
-// (entries from older tuner versions are stale — schedules do not
-// transfer reliably across code generators).
+// element type, target device, and the tuner version that produced the
+// entry (entries from older tuner versions are stale — schedules do
+// not transfer reliably across code generators).
+//
+// The dtype is part of the key because an FP16 and an FP32 GEMM of the
+// same shape are different tasks (different instructions, different
+// alignments, different best tiles). Conv tasks additionally carry the
+// full convolution geometry: two distinct ConvShapes can project to
+// the same implicit-GEMM (M, N, K) yet price differently (activation
+// footprint, stride, padding), so the projection alone must not alias
+// them.
 type Key struct {
-	Kind    string `json:"kind"` // "gemm" or "conv2d"
-	M       int    `json:"m"`
-	N       int    `json:"n"`
-	K       int    `json:"k"`
-	Device  string `json:"device"`
-	Version int    `json:"version"`
+	Kind  string `json:"kind"` // "gemm" or "conv2d"
+	M     int    `json:"m"`
+	N     int    `json:"n"`
+	K     int    `json:"k"`
+	DType string `json:"dtype"`
+	// Conv is the full convolution geometry (zero for GEMM tasks).
+	Conv    cutlass.ConvShape `json:"conv,omitzero"`
+	Device  string            `json:"device"`
+	Version int               `json:"version"`
 }
 
 // String renders the key compactly.
 func (k Key) String() string {
-	return fmt.Sprintf("%s(%d,%d,%d)@%s/v%d", k.Kind, k.M, k.N, k.K, k.Device, k.Version)
+	if k.Kind == "conv2d" {
+		c := k.Conv
+		return fmt.Sprintf("%s(n%d,h%d,w%d,ic%d,oc%d,k%dx%d,s%dx%d,p%dx%d,%s)@%s/v%d",
+			k.Kind, c.N, c.H, c.W, c.IC, c.OC, c.KH, c.KW,
+			c.StrideH, c.StrideW, c.PadH, c.PadW, k.DType, k.Device, k.Version)
+	}
+	return fmt.Sprintf("%s(%d,%d,%d,%s)@%s/v%d", k.Kind, k.M, k.N, k.K, k.DType, k.Device, k.Version)
 }
 
-// Entry is one cached tuning result.
+// Entry is one cached tuning result. Bolt's profiler stores the
+// selected template parameterization in Config; the Ansor baseline
+// stores its opaque Schedule. Either may be zero when the other tuner
+// produced the entry.
 type Entry struct {
-	Schedule ansor.Schedule `json:"schedule"`
+	Schedule ansor.Schedule `json:"schedule,omitzero"`
+	// Config is the CUTLASS-style template selection (Bolt entries).
+	Config cutlass.GemmConfig `json:"config,omitzero"`
 	// TimeSeconds is the measured kernel time when the entry was
 	// recorded.
 	TimeSeconds float64 `json:"time_seconds"`
-	// Trials records how much search produced this entry.
+	// Trials records how much search produced this entry (measured
+	// candidates for Bolt, search trials for Ansor).
 	Trials int `json:"trials"`
 }
 
@@ -151,11 +176,14 @@ func (l *Log) Load(r io.Reader) error {
 }
 
 // GemmKey builds the key for a GEMM task.
-func GemmKey(m, n, k int, device string) Key {
-	return Key{Kind: "gemm", M: m, N: n, K: k, Device: device, Version: 1}
+func GemmKey(m, n, k int, dt tensor.DType, device string) Key {
+	return Key{Kind: "gemm", M: m, N: n, K: k, DType: dt.String(), Device: device, Version: 1}
 }
 
-// ConvKey builds the key for a conv task on its implicit-GEMM dims.
-func ConvKey(m, n, k int, device string) Key {
-	return Key{Kind: "conv2d", M: m, N: n, K: k, Device: device, Version: 1}
+// ConvKey builds the key for a conv task from its full shape. The
+// implicit-GEMM dims are stored alongside for reporting, but the
+// shape itself is what keys the entry.
+func ConvKey(s cutlass.ConvShape, dt tensor.DType, device string) Key {
+	m, n, k := s.ImplicitGemm()
+	return Key{Kind: "conv2d", M: m, N: n, K: k, DType: dt.String(), Conv: s, Device: device, Version: 1}
 }

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"bolt/internal/ansor"
+	"bolt/internal/cutlass"
+	"bolt/internal/tensor"
 )
 
 func sched() ansor.Schedule {
@@ -14,7 +16,7 @@ func sched() ansor.Schedule {
 
 func TestLookupRecord(t *testing.T) {
 	l := New()
-	k := GemmKey(1280, 3072, 768, "t4")
+	k := GemmKey(1280, 3072, 768, tensor.FP16, "t4")
 	if _, ok := l.Lookup(k); ok {
 		t.Fatal("empty log hit")
 	}
@@ -24,11 +26,11 @@ func TestLookupRecord(t *testing.T) {
 		t.Fatal("recorded entry not found")
 	}
 	// A different shape must miss — the dynamic-shape failure mode.
-	if _, ok := l.Lookup(GemmKey(1281, 3072, 768, "t4")); ok {
+	if _, ok := l.Lookup(GemmKey(1281, 3072, 768, tensor.FP16, "t4")); ok {
 		t.Error("near-miss shape must not hit")
 	}
 	// A different device must miss.
-	if _, ok := l.Lookup(GemmKey(1280, 3072, 768, "a100")); ok {
+	if _, ok := l.Lookup(GemmKey(1280, 3072, 768, tensor.FP16, "a100")); ok {
 		t.Error("different device must not hit")
 	}
 	if l.Hits != 1 || l.Misses != 3 {
@@ -39,9 +41,43 @@ func TestLookupRecord(t *testing.T) {
 	}
 }
 
+// TestDTypeDoesNotCollide: an FP16 and an FP32 GEMM of the same shape
+// are different tuning tasks and must not share a cache entry.
+func TestDTypeDoesNotCollide(t *testing.T) {
+	l := New()
+	l.Record(GemmKey(1024, 1024, 1024, tensor.FP16, "t4"), Entry{TimeSeconds: 1e-4})
+	if _, ok := l.Lookup(GemmKey(1024, 1024, 1024, tensor.FP32, "t4")); ok {
+		t.Error("FP32 lookup hit an FP16 entry")
+	}
+	if _, ok := l.Lookup(GemmKey(1024, 1024, 1024, tensor.FP16, "t4")); !ok {
+		t.Error("same-dtype lookup must hit")
+	}
+}
+
+// TestConvShapeDoesNotAlias: two conv shapes with identical
+// implicit-GEMM projections are distinct tasks. (N=2,H=8 vs N=8,H=4
+// with matching channel counts both project to the same (M,N,K).)
+func TestConvShapeDoesNotAlias(t *testing.T) {
+	a := cutlass.Conv1x1(2, 8, 8, 64, 32)
+	b := cutlass.Conv1x1(8, 4, 4, 64, 32)
+	am, an, ak := a.ImplicitGemm()
+	bm, bn, bk := b.ImplicitGemm()
+	if am != bm || an != bn || ak != bk {
+		t.Fatalf("test premise broken: projections differ (%d,%d,%d) vs (%d,%d,%d)", am, an, ak, bm, bn, bk)
+	}
+	l := New()
+	l.Record(ConvKey(a, tensor.FP16, "t4"), Entry{TimeSeconds: 1e-4})
+	if _, ok := l.Lookup(ConvKey(b, tensor.FP16, "t4")); ok {
+		t.Error("distinct conv shapes with equal implicit-GEMM dims must not alias")
+	}
+	if _, ok := l.Lookup(ConvKey(a, tensor.FP16, "t4")); !ok {
+		t.Error("identical conv shape must hit")
+	}
+}
+
 func TestVersionStaleness(t *testing.T) {
 	l := New()
-	k := GemmKey(512, 512, 512, "t4")
+	k := GemmKey(512, 512, 512, tensor.FP16, "t4")
 	l.Record(k, Entry{Schedule: sched(), TimeSeconds: 1e-5, Trials: 900})
 	// Tuner upgrade: old entries stop matching and count as stale.
 	l.CurrentVersion = 2
@@ -60,8 +96,16 @@ func TestVersionStaleness(t *testing.T) {
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	l := New()
-	l.Record(GemmKey(1024, 1024, 1024, "t4"), Entry{Schedule: sched(), TimeSeconds: 3e-4, Trials: 2000})
-	l.Record(ConvKey(100352, 64, 576, "t4"), Entry{Schedule: sched(), TimeSeconds: 6e-4, Trials: 900})
+	cfg := cutlass.GemmConfig{
+		TB:     cutlass.Shape3{M: 128, N: 128, K: 32},
+		Warp:   cutlass.Shape3{M: 64, N: 64, K: 32},
+		Inst:   cutlass.Shape3{M: 16, N: 8, K: 8},
+		Stages: 2, SwizzleLog: 2, AlignA: 8, AlignB: 8, AlignC: 8,
+	}
+	l.Record(GemmKey(1024, 1024, 1024, tensor.FP16, "t4"),
+		Entry{Schedule: sched(), Config: cfg, TimeSeconds: 3e-4, Trials: 2000})
+	l.Record(ConvKey(cutlass.Conv3x3(32, 56, 56, 64, 64, 1, 1), tensor.FP16, "t4"),
+		Entry{Schedule: sched(), TimeSeconds: 6e-4, Trials: 900})
 	var buf bytes.Buffer
 	if err := l.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -73,9 +117,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if l2.Len() != 2 {
 		t.Fatalf("loaded %d entries, want 2", l2.Len())
 	}
-	e, ok := l2.Lookup(GemmKey(1024, 1024, 1024, "t4"))
+	e, ok := l2.Lookup(GemmKey(1024, 1024, 1024, tensor.FP16, "t4"))
 	if !ok || e.TimeSeconds != 3e-4 {
 		t.Error("round-tripped entry wrong")
+	}
+	if e.Config != cfg {
+		t.Errorf("config did not round-trip: %+v", e.Config)
 	}
 	if err := l2.Load(bytes.NewBufferString("not json")); err == nil {
 		t.Error("corrupt database must error")
@@ -89,10 +136,10 @@ func TestConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			k := GemmKey(64*i, 64, 64, "t4")
+			k := GemmKey(64*i, 64, 64, tensor.FP16, "t4")
 			l.Record(k, Entry{Schedule: sched(), TimeSeconds: 1e-6})
 			l.Lookup(k)
-			l.Lookup(GemmKey(1, 2, 3, "t4"))
+			l.Lookup(GemmKey(1, 2, 3, tensor.FP16, "t4"))
 		}(i)
 	}
 	wg.Wait()
