@@ -1,0 +1,155 @@
+package bolt_test
+
+// Runtime benchmarks for the slot-based, memory-planned executor:
+// ResNet-50 Module.Run on the planned arena vs. the clone-based
+// reference executor, plus the Module.Time pricing path. Results are
+// emitted to BENCH_pr2.json so the allocs/op win is tracked as an
+// artifact; CI runs a 1-iteration smoke so regressions surface.
+//
+//	go test -run '^$' -bench BenchmarkModuleRun -benchtime 1x .
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"bolt"
+	"bolt/internal/models"
+	"bolt/internal/tensor"
+)
+
+const runBenchBatch = 1
+
+var (
+	runBenchOnce sync.Once
+	runBenchMod  *bolt.Module
+	runBenchIn   map[string]*bolt.Tensor
+)
+
+// resnet50Module compiles ResNet-50 once and shares it across
+// benchmark iterations (compilation is deterministic).
+func resnet50Module(b *testing.B) (*bolt.Module, map[string]*bolt.Tensor) {
+	b.Helper()
+	runBenchOnce.Do(func() {
+		res, err := bolt.Compile(models.ResNet(50, runBenchBatch), bolt.T4(), bolt.Options{})
+		if err != nil {
+			panic(err)
+		}
+		runBenchMod = res.Module
+		in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, runBenchBatch, 3, 224, 224)
+		in.FillRandom(1, 1)
+		runBenchIn = map[string]*bolt.Tensor{"data": in}
+	})
+	return runBenchMod, runBenchIn
+}
+
+type benchRow struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+var (
+	benchRowMu sync.Mutex
+	benchRows  = map[string]benchRow{}
+)
+
+// measureRun runs f as a sub-benchmark, additionally recording ns/op
+// and allocs/op for the JSON artifact (sub-benchmark results are not
+// programmatically accessible, so the accounting is done inline).
+func measureRun(b *testing.B, name string, f func()) {
+	b.Run(name, func(sb *testing.B) {
+		sb.ReportAllocs()
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < sb.N; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		benchRowMu.Lock()
+		benchRows[name] = benchRow{
+			Name:        name,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(sb.N),
+			AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(sb.N),
+			BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(sb.N),
+		}
+		benchRowMu.Unlock()
+	})
+}
+
+// BenchmarkModuleRun compares the planned executor against the
+// clone-based reference on a full ResNet-50 forward pass and writes
+// BENCH_pr2.json. Target: >= 50% fewer allocs/op planned vs clone.
+func BenchmarkModuleRun(b *testing.B) {
+	m, inputs := resnet50Module(b)
+	m.Run(inputs) // materialize the arena outside the measurement
+
+	measureRun(b, "resnet50/planned", func() { m.Run(inputs) })
+	measureRun(b, "resnet50/clone", func() { m.RunUnplanned(inputs) })
+	measureRun(b, "resnet50/time", func() { _ = m.Time() })
+
+	writeBenchArtifact(b, m)
+}
+
+func writeBenchArtifact(b *testing.B, m *bolt.Module) {
+	benchRowMu.Lock()
+	rows := make([]benchRow, 0, len(benchRows))
+	for _, r := range benchRows {
+		rows = append(rows, r)
+	}
+	benchRowMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+
+	mem := m.Memory()
+	artifact := struct {
+		Model      string     `json:"model"`
+		Batch      int        `json:"batch"`
+		Benchmarks []benchRow `json:"benchmarks"`
+		Memory     struct {
+			ParamBytes           int     `json:"param_bytes"`
+			PeakActivationBytes  int     `json:"peak_activation_bytes"`
+			NaiveActivationBytes int     `json:"naive_activation_bytes"`
+			PlannedArenaBytes    int     `json:"planned_arena_bytes"`
+			ArenaBuffers         int     `json:"arena_buffers"`
+			ReuseFactor          float64 `json:"reuse_factor"`
+		} `json:"memory"`
+		AllocsReduction float64 `json:"allocs_reduction_vs_clone"`
+	}{Model: "resnet50", Batch: runBenchBatch, Benchmarks: rows}
+	artifact.Memory.ParamBytes = mem.ParamBytes
+	artifact.Memory.PeakActivationBytes = mem.PeakActivationBytes
+	artifact.Memory.NaiveActivationBytes = mem.NaiveActivationBytes
+	artifact.Memory.PlannedArenaBytes = mem.PlannedArenaBytes
+	artifact.Memory.ArenaBuffers = mem.ArenaBuffers
+	artifact.Memory.ReuseFactor = mem.ReuseFactor
+	var planned, clone float64
+	for _, r := range rows {
+		switch r.Name {
+		case "resnet50/planned":
+			planned = r.AllocsPerOp
+		case "resnet50/clone":
+			clone = r.AllocsPerOp
+		}
+	}
+	if clone > 0 {
+		artifact.AllocsReduction = 1 - planned/clone
+	}
+
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pr2.json", append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("wrote BENCH_pr2.json: planned %.0f vs clone %.0f allocs/op (%.0f%% reduction), arena %0.1f MB vs naive %0.1f MB",
+		planned, clone, 100*artifact.AllocsReduction,
+		float64(mem.PlannedArenaBytes)/1e6, float64(mem.NaiveActivationBytes)/1e6)
+}

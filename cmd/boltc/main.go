@@ -97,8 +97,11 @@ func main() {
 	fmt.Printf("modeled latency: %.3f ms   throughput: %.0f images/sec\n",
 		m.Time()*1e3, m.Throughput(*batch))
 	mem := m.Memory()
-	fmt.Printf("parameters: %.1f MB   peak activation: %.1f MB\n\n",
+	fmt.Printf("parameters: %.1f MB   peak activation: %.1f MB\n",
 		float64(mem.ParamBytes)/1e6, float64(mem.PeakActivationBytes)/1e6)
+	fmt.Printf("activation arena: %.1f MB planned (%d buffers) vs %.1f MB naive sum — %.1fx reuse\n\n",
+		float64(mem.PlannedArenaBytes)/1e6, mem.ArenaBuffers,
+		float64(mem.NaiveActivationBytes)/1e6, mem.ReuseFactor)
 
 	fmt.Printf("slowest kernels:\n")
 	for i, r := range m.Report() {

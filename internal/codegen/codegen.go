@@ -76,7 +76,11 @@ func Compile(g *relay.Graph, dev *gpu.Device, opts Options) (*rt.Module, error) 
 		return nil, err
 	}
 	c := &compiler{g: g, dev: dev, opts: opts, ansorCache: map[string]ansor.Result{}}
-	m := &rt.Module{Graph: g, Device: dev}
+	c.slots = make(map[int]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		c.slots[n.ID] = i
+	}
+	m := &rt.Module{Graph: g, Device: dev, Plan: relay.PlanMemory(g)}
 	if opts.Tuner == TunerBolt {
 		if opts.Profiler == nil {
 			return nil, fmt.Errorf("codegen: TunerBolt requires a profiler")
@@ -88,11 +92,12 @@ func Compile(g *relay.Graph, dev *gpu.Device, opts Options) (*rt.Module, error) 
 		c.resolved = resolved
 		m.Tuning = stats
 	}
-	for _, n := range g.Nodes {
+	for i, n := range g.Nodes {
 		k, err := c.lower(n)
 		if err != nil {
 			return nil, fmt.Errorf("codegen: lowering %s: %w", n, err)
 		}
+		k.Slot = i
 		m.Kernels = append(m.Kernels, k)
 	}
 	return m, nil
@@ -103,9 +108,32 @@ type compiler struct {
 	dev        *gpu.Device
 	opts       Options
 	ansorCache map[string]ansor.Result
+	// slots maps node ID -> dense slot index in the execution
+	// environment (the node's topological position).
+	slots map[int]int
 	// resolved maps tuning tasks to their selected configs (stage 4's
 	// input; filled by the tuning pipeline for TunerBolt).
 	resolved map[tunelog.Key]profiler.Result
+}
+
+// slot returns the environment slot holding the node's value.
+func (c *compiler) slot(n *relay.Node) int { return c.slots[n.ID] }
+
+// optSlot returns the node's slot, or -1 for an absent operand (e.g.
+// a dense/conv without a fused bias).
+func (c *compiler) optSlot(n *relay.Node) int {
+	if n == nil {
+		return -1
+	}
+	return c.slot(n)
+}
+
+// optValue fetches an optional operand from the environment.
+func optValue(env *rt.Env, slot int) *tensor.Tensor {
+	if slot < 0 {
+		return nil
+	}
+	return env.Value(slot)
 }
 
 // gemmResult returns the resolved config for a dense workload. Every
@@ -132,9 +160,11 @@ func (c *compiler) convResult(s cutlass.ConvShape, dt tensor.DType) (profiler.Re
 func (c *compiler) lower(n *relay.Node) (rt.Kernel, error) {
 	switch n.Op {
 	case relay.OpInput:
-		return freeKernel(n, func(env *rt.Env) *tensor.Tensor { return env.Input(n.Name) }), nil
+		name := n.Name
+		return freeKernel(n, func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor { return env.Input(name) }), nil
 	case relay.OpConstant:
-		return freeKernel(n, func(env *rt.Env) *tensor.Tensor { return n.Value }), nil
+		v := n.Value
+		return freeKernel(n, func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor { return v }), nil
 	case relay.OpDense:
 		return c.lowerDense(n)
 	case relay.OpConv2D:
@@ -144,54 +174,71 @@ func (c *compiler) lower(n *relay.Node) (rt.Kernel, error) {
 	case relay.OpPersistentConv:
 		return c.lowerPersistentConv(n)
 	case relay.OpBiasAdd:
-		x, b := n.Inputs[0], n.Inputs[1]
+		x, b := c.slot(n.Inputs[0]), c.slot(n.Inputs[1])
+		layout := n.Layout
 		return launchKernel(n, rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 2, 1, n.DType),
-			func(env *rt.Env) *tensor.Tensor { return rt.BiasAddRun(env.Value(x), env.Value(b), n.Layout) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.BiasAddInto(dst, env.Value(x), env.Value(b), layout)
+			}), nil
 	case relay.OpActivation:
-		x := n.Inputs[0]
+		x := c.slot(n.Inputs[0])
 		act := n.Act
 		return launchKernel(n, rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 1, 1+act.FLOPs(), n.DType),
-			func(env *rt.Env) *tensor.Tensor { return rt.ActivationRun(env.Value(x), act) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.ActivationInto(dst, env.Value(x), act)
+			}), nil
 	case relay.OpAdd:
-		a, b := n.Inputs[0], n.Inputs[1]
+		a, b := c.slot(n.Inputs[0]), c.slot(n.Inputs[1])
 		return launchKernel(n, rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 2, 1, n.DType),
-			func(env *rt.Env) *tensor.Tensor { return rt.AddRun(env.Value(a), env.Value(b)) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.AddInto(dst, env.Value(a), env.Value(b))
+			}), nil
 	case relay.OpBatchNorm:
-		x, ga, be, me, va := n.Inputs[0], n.Inputs[1], n.Inputs[2], n.Inputs[3], n.Inputs[4]
+		x, ga, be := c.slot(n.Inputs[0]), c.slot(n.Inputs[1]), c.slot(n.Inputs[2])
+		me, va := c.slot(n.Inputs[3]), c.slot(n.Inputs[4])
 		eps := n.Eps
+		layout := n.Layout
 		return launchKernel(n, rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 1, 2, n.DType),
-			func(env *rt.Env) *tensor.Tensor {
-				return rt.BatchNormRun(env.Value(x), env.Value(ga), env.Value(be), env.Value(me), env.Value(va), eps, n.Layout)
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.BatchNormInto(dst, env.Value(x), env.Value(ga), env.Value(be), env.Value(me), env.Value(va), eps, layout)
 			}), nil
 	case relay.OpMaxPool:
-		x := n.Inputs[0]
+		x := c.slot(n.Inputs[0])
 		pool := n.Pool
 		layout := n.Layout
 		return launchKernel(n, rt.PoolDesc(kname(n), shapeElems(n), pool.Kernel, n.DType),
-			func(env *rt.Env) *tensor.Tensor { return rt.MaxPoolRun(env.Value(x), pool, layout) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.MaxPoolInto(dst, env.Value(x), pool, layout)
+			}), nil
 	case relay.OpGlobalAvgPool:
-		x := n.Inputs[0]
-		layout := x.Layout
-		inElems := x.Shape.NumElements()
+		x := c.slot(n.Inputs[0])
+		layout := n.Inputs[0].Layout
+		inElems := n.Inputs[0].Shape.NumElements()
 		desc := rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 1, 1, n.DType)
 		desc.GlobalLoadB = float64(inElems * n.DType.Size())
 		return launchKernel(n, desc,
-			func(env *rt.Env) *tensor.Tensor { return rt.GlobalAvgPoolRun(env.Value(x), layout) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.GlobalAvgPoolInto(dst, env.Value(x), layout)
+			}), nil
 	case relay.OpFlatten:
-		x := n.Inputs[0]
-		return freeKernel(n, func(env *rt.Env) *tensor.Tensor { return rt.FlattenRun(env.Value(x)) }), nil
+		x := c.slot(n.Inputs[0])
+		return freeKernel(n, func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+			return rt.FlattenInto(dst, env.Value(x))
+		}), nil
 	case relay.OpSoftmax:
-		x := n.Inputs[0]
+		x := c.slot(n.Inputs[0])
 		return launchKernel(n, rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 3, 8, n.DType),
-			func(env *rt.Env) *tensor.Tensor { return rt.SoftmaxRun(env.Value(x)) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return rt.SoftmaxInto(dst, env.Value(x))
+			}), nil
 	case relay.OpLayoutTransform:
-		x := n.Inputs[0]
+		x := c.slot(n.Inputs[0])
 		to := n.ToLayout
-		exec := func(env *rt.Env) *tensor.Tensor {
+		exec := func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
 			if to == tensor.LayoutNHWC {
-				return tensor.ToNHWC(env.Value(x))
+				return tensor.ToNHWCInto(dst, env.Value(x))
 			}
-			return tensor.ToNCHW(env.Value(x))
+			return tensor.ToNCHWInto(dst, env.Value(x))
 		}
 		if n.Folded {
 			// Implemented inside the adjacent templated kernel: the
@@ -200,15 +247,19 @@ func (c *compiler) lower(n *relay.Node) (rt.Kernel, error) {
 		}
 		return launchKernel(n, rt.ElementwiseLikeDesc(kname(n), shapeElems(n), 1, 0, n.DType), exec), nil
 	case relay.OpPadChannels:
-		x := n.Inputs[0]
+		x := c.slot(n.Inputs[0])
 		padTo := n.PadTo
-		desc := rt.PadDesc(x.Shape.NumElements(), shapeElems(n), n.DType)
+		desc := rt.PadDesc(n.Inputs[0].Shape.NumElements(), shapeElems(n), n.DType)
 		return launchKernel(n, desc,
-			func(env *rt.Env) *tensor.Tensor { return tensor.PadChannels(env.Value(x), padTo) }), nil
+			func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+				return tensor.PadChannelsInto(dst, env.Value(x), padTo)
+			}), nil
 	case relay.OpSliceChannels:
-		x := n.Inputs[0]
+		x := c.slot(n.Inputs[0])
 		padTo := n.PadTo
-		return freeKernel(n, func(env *rt.Env) *tensor.Tensor { return tensor.SliceChannels(env.Value(x), padTo) }), nil
+		return freeKernel(n, func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+			return tensor.SliceChannelsInto(dst, env.Value(x), padTo)
+		}), nil
 	default:
 		return rt.Kernel{}, fmt.Errorf("unsupported op %v", n.Op)
 	}
@@ -218,11 +269,11 @@ func kname(n *relay.Node) string { return fmt.Sprintf("%s_%d", n.Op, n.ID) }
 
 func shapeElems(n *relay.Node) int { return n.Shape.NumElements() }
 
-func freeKernel(n *relay.Node, exec func(*rt.Env) *tensor.Tensor) rt.Kernel {
+func freeKernel(n *relay.Node, exec func(*rt.Env, *tensor.Tensor) *tensor.Tensor) rt.Kernel {
 	return rt.Kernel{Name: kname(n), Node: n, Launches: 0, Exec: exec}
 }
 
-func launchKernel(n *relay.Node, desc gpu.KernelDesc, exec func(*rt.Env) *tensor.Tensor) rt.Kernel {
+func launchKernel(n *relay.Node, desc gpu.KernelDesc, exec func(*rt.Env, *tensor.Tensor) *tensor.Tensor) rt.Kernel {
 	return rt.Kernel{Name: desc.Name, Node: n, Desc: desc, Launches: 1, Exec: exec}
 }
 
@@ -255,12 +306,9 @@ func (c *compiler) lowerDense(n *relay.Node) (rt.Kernel, error) {
 		return rt.Kernel{}, err
 	}
 	g := &cutlass.Gemm{Config: res.Config, Epilogue: epi}
-	kern := launchKernel(n, g.Desc(c.dev, m, nn, k), func(env *rt.Env) *tensor.Tensor {
-		var b *tensor.Tensor
-		if bias != nil {
-			b = env.Value(bias)
-		}
-		return g.Run(env.Value(x), env.Value(w), b)
+	xs, ws, bs := c.slot(x), c.slot(w), c.optSlot(bias)
+	kern := launchKernel(n, g.Desc(c.dev, m, nn, k), func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+		return g.RunInto(dst, env.Value(xs), env.Value(ws), optValue(env, bs))
 	})
 	if c.opts.EmitSource {
 		kern.Source = emitGemmSource(g, m, nn, k)
@@ -286,12 +334,9 @@ func (c *compiler) lowerConv(n *relay.Node) (rt.Kernel, error) {
 		return rt.Kernel{}, err
 	}
 	conv := &cutlass.Conv2D{Shape: shape, Config: res.Config, Epilogue: epi}
-	kern := launchKernel(n, conv.Desc(c.dev), func(env *rt.Env) *tensor.Tensor {
-		var b *tensor.Tensor
-		if bias != nil {
-			b = env.Value(bias)
-		}
-		return conv.Run(env.Value(x), env.Value(w), b)
+	xs, ws, bs := c.slot(x), c.slot(w), c.optSlot(bias)
+	kern := launchKernel(n, conv.Desc(c.dev), func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+		return conv.RunInto(dst, env.Value(xs), env.Value(ws), optValue(env, bs))
 	})
 	if c.opts.EmitSource {
 		kern.Source = emitConvSource(conv)
@@ -313,23 +358,61 @@ func (c *compiler) lowerPersistentGemm(n *relay.Node) (rt.Kernel, error) {
 	if err != nil {
 		return rt.Kernel{}, err
 	}
-	chain := n.Chain
-	x := n.Inputs[0]
-	kern := launchKernel(n, f.Desc(c.dev), func(env *rt.Env) *tensor.Tensor {
-		ws := make([]*tensor.Tensor, len(chain))
-		bs := make([]*tensor.Tensor, len(chain))
-		for i, cl := range chain {
-			ws[i] = env.Value(cl.Weight)
-			if cl.Bias != nil {
-				bs[i] = env.Value(cl.Bias)
-			}
-		}
-		return f.Run(env.Value(x), ws, bs)
+	xs := c.slot(n.Inputs[0])
+	operands := c.chainOperands(n.Chain)
+	kern := launchKernel(n, f.Desc(c.dev), func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+		ws, bs := operands(env)
+		return f.RunInto(dst, env.Value(xs), ws, bs)
 	})
 	if c.opts.EmitSource {
 		kern.Source = emitPersistentGemmSource(f, m)
 	}
 	return kern, nil
+}
+
+// chainOperands resolves a persistent chain's weights and biases.
+// Constant operands (the universal case) are bound at compile time so
+// the hot path allocates nothing; anything else falls back to a
+// per-call environment lookup.
+func (c *compiler) chainOperands(chain []relay.ChainLayer) func(env *rt.Env) (ws, bs []*tensor.Tensor) {
+	allConst := true
+	for _, cl := range chain {
+		if cl.Weight.Op != relay.OpConstant || (cl.Bias != nil && cl.Bias.Op != relay.OpConstant) {
+			allConst = false
+			break
+		}
+	}
+	if allConst {
+		ws := make([]*tensor.Tensor, len(chain))
+		bs := make([]*tensor.Tensor, len(chain))
+		for i, cl := range chain {
+			ws[i] = cl.Weight.Value
+			if cl.Bias != nil {
+				bs[i] = cl.Bias.Value
+			}
+		}
+		return func(*rt.Env) ([]*tensor.Tensor, []*tensor.Tensor) { return ws, bs }
+	}
+	wSlots := make([]int, len(chain))
+	bSlots := make([]int, len(chain))
+	for i, cl := range chain {
+		wSlots[i] = c.slot(cl.Weight)
+		bSlots[i] = -1
+		if cl.Bias != nil {
+			bSlots[i] = c.slot(cl.Bias)
+		}
+	}
+	return func(env *rt.Env) ([]*tensor.Tensor, []*tensor.Tensor) {
+		ws := make([]*tensor.Tensor, len(wSlots))
+		bs := make([]*tensor.Tensor, len(bSlots))
+		for i, s := range wSlots {
+			ws[i] = env.Value(s)
+			if bSlots[i] >= 0 {
+				bs[i] = env.Value(bSlots[i])
+			}
+		}
+		return ws, bs
+	}
 }
 
 func (c *compiler) lowerPersistentConv(n *relay.Node) (rt.Kernel, error) {
@@ -349,18 +432,11 @@ func (c *compiler) lowerPersistentConv(n *relay.Node) (rt.Kernel, error) {
 	if err != nil {
 		return rt.Kernel{}, err
 	}
-	chain := n.Chain
-	x := n.Inputs[0]
-	kern := launchKernel(n, f.Desc(c.dev), func(env *rt.Env) *tensor.Tensor {
-		ws := make([]*tensor.Tensor, len(chain))
-		bs := make([]*tensor.Tensor, len(chain))
-		for i, cl := range chain {
-			ws[i] = env.Value(cl.Weight)
-			if cl.Bias != nil {
-				bs[i] = env.Value(cl.Bias)
-			}
-		}
-		return f.Run(env.Value(x), ws, bs)
+	xs := c.slot(n.Inputs[0])
+	operands := c.chainOperands(n.Chain)
+	kern := launchKernel(n, f.Desc(c.dev), func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+		ws, bs := operands(env)
+		return f.RunInto(dst, env.Value(xs), ws, bs)
 	})
 	if c.opts.EmitSource {
 		kern.Source = emitPersistentConvSource(f)
@@ -380,14 +456,11 @@ func (c *compiler) lowerAnsorGemm(n *relay.Node, x, w, bias *relay.Node, m, nn, 
 	}
 	desc := res.Schedule.GemmDesc(c.dev, m, nn, k, n.DType)
 	desc.FLOPs += epi.FLOPsOn(m, nn)
+	xs, ws, bs := c.slot(x), c.slot(w), c.optSlot(bias)
 	// Functional execution reuses the reference path (numerics are
 	// schedule-independent).
-	return launchKernel(n, desc, func(env *rt.Env) *tensor.Tensor {
-		var b *tensor.Tensor
-		if bias != nil {
-			b = env.Value(bias)
-		}
-		return simtGemmRun(env.Value(x), env.Value(w), b, epi)
+	return launchKernel(n, desc, func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+		return simtGemmRun(dst, env.Value(xs), env.Value(ws), optValue(env, bs), epi)
 	}), nil
 }
 
@@ -404,12 +477,9 @@ func (c *compiler) lowerAnsorConv(n *relay.Node, x, w, bias *relay.Node, shape c
 	desc := res.Schedule.ConvDesc(c.dev, geo, n.DType)
 	desc.FLOPs += epi.FLOPsOn(m, nn)
 	layout := n.Layout
-	return launchKernel(n, desc, func(env *rt.Env) *tensor.Tensor {
-		var b *tensor.Tensor
-		if bias != nil {
-			b = env.Value(bias)
-		}
-		return simtConvRun(shape, env.Value(x), env.Value(w), b, epi, layout)
+	xs, ws, bs := c.slot(x), c.slot(w), c.optSlot(bias)
+	return launchKernel(n, desc, func(env *rt.Env, dst *tensor.Tensor) *tensor.Tensor {
+		return simtConvRun(dst, shape, env.Value(xs), env.Value(ws), optValue(env, bs), epi, layout)
 	}), nil
 }
 
@@ -422,24 +492,22 @@ func (c *compiler) trials() int {
 
 // simtGemmRun executes a GEMM functionally with a permissive alignment
 // config (the baseline's numerics; schedules do not change math).
-func simtGemmRun(a, b, bias *tensor.Tensor, epi cutlass.Epilogue) *tensor.Tensor {
+func simtGemmRun(dst *tensor.Tensor, a, b, bias *tensor.Tensor, epi cutlass.Epilogue) *tensor.Tensor {
 	g := &cutlass.Gemm{Config: permissiveConfig(), Epilogue: epi}
-	return g.Run(a, b, bias)
+	return g.RunInto(dst, a, b, bias)
 }
 
-func simtConvRun(s cutlass.ConvShape, x, w, bias *tensor.Tensor, epi cutlass.Epilogue, layout tensor.Layout) *tensor.Tensor {
+func simtConvRun(dst *tensor.Tensor, s cutlass.ConvShape, x, w, bias *tensor.Tensor, epi cutlass.Epilogue, layout tensor.Layout) *tensor.Tensor {
 	// The baseline runs NCHW models directly; our functional kernels
 	// are NHWC, so transform around them when needed.
 	nchw := layout == tensor.LayoutNCHW
-	if nchw {
-		x = tensor.ToNHWC(x)
+	if !nchw {
+		conv := &cutlass.Conv2D{Shape: s, Config: permissiveConfig(), Epilogue: epi}
+		return conv.RunInto(dst, x, w, bias)
 	}
 	conv := &cutlass.Conv2D{Shape: s, Config: permissiveConfig(), Epilogue: epi}
-	out := conv.Run(x, w, bias)
-	if nchw {
-		out = tensor.ToNCHW(out)
-	}
-	return out
+	out := conv.Run(tensor.ToNHWC(x), w, bias)
+	return tensor.ToNCHWInto(dst, out)
 }
 
 func permissiveConfig() cutlass.GemmConfig {

@@ -3,11 +3,13 @@ package codegen
 import (
 	"testing"
 
+	"bolt/internal/ansor"
 	"bolt/internal/gpu"
 	"bolt/internal/models"
 	"bolt/internal/profiler"
 	"bolt/internal/relay"
 	"bolt/internal/rt"
+	"bolt/internal/tensor"
 )
 
 // compileZoo compiles a zoo model through the full Bolt pipeline.
@@ -20,6 +22,19 @@ func compileZoo(t *testing.T, g *relay.Graph) *rt.Module {
 	p := profiler.New(dev, nil)
 	p.Measure.NoiseStdDev = 0
 	m, err := Compile(g, dev, Options{Tuner: TunerBolt, Profiler: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// ansorCompileZoo compiles through the baseline tuner with a tiny
+// trial budget (the functional path is what matters here).
+func ansorCompileZoo(t *testing.T, g *relay.Graph, dev *gpu.Device) *rt.Module {
+	t.Helper()
+	relay.FoldBatchNorm(g)
+	relay.FuseEpilogue(g)
+	m, err := Compile(g, dev, Options{Tuner: TunerAnsor, AnsorTuner: ansor.NewTuner(dev, nil, 5), AnsorTrials: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,4 +153,93 @@ func TestBaselineZooCompiles(t *testing.T) {
 			t.Error("baseline module time must be positive")
 		}
 	}
+}
+
+// TestZooPlannedExecutorGolden is the planned executor's oracle sweep:
+// for every zoo model (at a reduced resolution so functional execution
+// stays affordable) the arena-planned Run must be bit-identical to the
+// clone-based executor — on the first call, and again on a second call
+// that reuses the recycled arena. The memory report must show the
+// planner genuinely beating the naive sum of intermediates.
+func TestZooPlannedExecutorGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		batch int
+		build func() *relay.Graph
+	}{
+		{"VGG-16", 2, func() *relay.Graph { return models.VGGAt(16, 2, 32) }},
+		{"ResNet-18", 2, func() *relay.Graph { return models.ResNetAt(18, 2, 32) }},
+		{"ResNet-50", 1, func() *relay.Graph { return models.ResNetAt(50, 1, 32) }},
+		{"RepVGG-A0", 2, func() *relay.Graph { return models.RepVGGAt("A0", 2, 32, models.RepVGGOptions{}) }},
+		{"RepVGGAug-A0", 2, func() *relay.Graph {
+			return models.RepVGGAt("A0", 2, 32, models.RepVGGOptions{Deepen1x1: true})
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := compileZoo(t, c.build())
+			if m.Plan == nil {
+				t.Fatal("compiled module has no memory plan")
+			}
+			in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, c.batch, 3, 32, 32)
+			in.FillRandom(42, 1)
+			inputs := map[string]*tensor.Tensor{"data": in}
+
+			ref := m.RunUnplanned(inputs)
+			first := m.Run(inputs).Clone() // view into the arena: clone before rerunning
+			if d := tensor.MaxAbsDiff(first, ref); d != 0 {
+				t.Errorf("planned output deviates from clone-based executor: max diff %g", d)
+			}
+			second := m.Run(inputs)
+			if d := tensor.MaxAbsDiff(second, first); d != 0 {
+				t.Errorf("second arena-reusing run deviates: max diff %g (stale arena state?)", d)
+			}
+
+			mem := m.Memory()
+			if mem.PlannedArenaBytes >= mem.NaiveActivationBytes {
+				t.Errorf("planned arena %d not below naive sum %d", mem.PlannedArenaBytes, mem.NaiveActivationBytes)
+			}
+			if mem.PlannedArenaBytes < mem.PeakActivationBytes {
+				t.Errorf("planned arena %d below peak single intermediate %d (impossible)",
+					mem.PlannedArenaBytes, mem.PeakActivationBytes)
+			}
+			if mem.ReuseFactor <= 1 {
+				t.Errorf("reuse factor %.2f, want > 1", mem.ReuseFactor)
+			}
+		})
+	}
+}
+
+// TestBaselinePlannedExecutorGolden covers the Ansor fallback path
+// (NCHW graphs, SIMT reference kernels) with the same oracle.
+func TestBaselinePlannedExecutorGolden(t *testing.T) {
+	dev := gpu.T4()
+	m := ansorCompileZoo(t, models.ResNetAt(18, 1, 32), dev)
+	in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, 1, 3, 32, 32)
+	in.FillRandom(43, 1)
+	inputs := map[string]*tensor.Tensor{"data": in}
+	ref := m.RunUnplanned(inputs)
+	got := m.Run(inputs)
+	if d := tensor.MaxAbsDiff(got, ref); d != 0 {
+		t.Errorf("baseline planned output deviates: max diff %g", d)
+	}
+}
+
+// TestPlannedRunAllocsReduction locks in the hot-path win: the planned
+// executor must allocate less than half of what the clone-based one
+// does per Run. AllocsPerRun pins GOMAXPROCS to 1, so the measurement
+// counts tensor allocations, not scheduler noise.
+func TestPlannedRunAllocsReduction(t *testing.T) {
+	m := compileZoo(t, models.ResNetAt(18, 2, 32))
+	in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, 2, 3, 32, 32)
+	in.FillRandom(44, 1)
+	inputs := map[string]*tensor.Tensor{"data": in}
+	m.Run(inputs) // materialize the arena before measuring
+
+	planned := testing.AllocsPerRun(3, func() { m.Run(inputs) })
+	clone := testing.AllocsPerRun(3, func() { m.RunUnplanned(inputs) })
+	if planned > clone/2 {
+		t.Errorf("planned Run allocs/op = %.0f, clone-based = %.0f: want >= 50%% reduction", planned, clone)
+	}
+	t.Logf("allocs/op: planned %.0f vs clone-based %.0f (%.1fx)", planned, clone, clone/planned)
 }

@@ -109,6 +109,13 @@ func (c *Conv2D) SupportsProblem() bool {
 // w is OHWI (OC,KH,KW,IC); bias is a length-OC vector or nil. The
 // output is NHWC (N,OH,OW,OC), quantized to the epilogue out dtype.
 func (c *Conv2D) Run(x, w, bias *tensor.Tensor) *tensor.Tensor {
+	return c.RunInto(nil, x, w, bias)
+}
+
+// RunInto executes like Run but writes into dst, an NHWC
+// (N,OH,OW,OC) tensor of the epilogue's output dtype that must not
+// alias any operand. A nil dst allocates. It returns the destination.
+func (c *Conv2D) RunInto(dst *tensor.Tensor, x, w, bias *tensor.Tensor) *tensor.Tensor {
 	s := c.Shape
 	xs, ws := x.Shape(), w.Shape()
 	if len(xs) != 4 || xs[0] != s.N || xs[1] != s.H || xs[2] != s.W || xs[3] != s.IC {
@@ -129,13 +136,21 @@ func (c *Conv2D) Run(x, w, bias *tensor.Tensor) *tensor.Tensor {
 		bd = bias.Data()
 	}
 	oh, ow := s.OutH(), s.OutW()
-	out := tensor.NewWithLayout(c.Epilogue.OutDType, tensor.LayoutNHWC, s.N, oh, ow, s.OC)
+	out := dst
+	if out == nil {
+		out = tensor.NewWithLayout(c.Epilogue.OutDType, tensor.LayoutNHWC, s.N, oh, ow, s.OC)
+	} else if out.NumElements() != s.N*oh*ow*s.OC {
+		panic(fmt.Sprintf("cutlass: conv destination has %d elements, want NHWC (%d,%d,%d,%d)",
+			out.NumElements(), s.N, oh, ow, s.OC))
+	}
 	xd, wd, od := x.Data(), w.Data(), out.Data()
 	quant := c.Epilogue.OutDType == tensor.FP16
 
 	rows := s.N * oh
 	parallelRows(rows, func(r0, r1 int) {
-		acc := make([]float32, s.OC)
+		accp := getAcc(s.OC)
+		defer putAcc(accp)
+		acc := *accp
 		for r := r0; r < r1; r++ {
 			in := r / oh
 			io := r % oh

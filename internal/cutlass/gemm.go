@@ -37,7 +37,16 @@ func (g *Gemm) Name() string {
 // or nil. The result is quantized to the epilogue's output dtype.
 // Accumulation is FP32, as on tensor cores.
 func (g *Gemm) Run(a, b, c *tensor.Tensor) *tensor.Tensor {
-	d, _ := g.run(a, b, c)
+	d, _ := g.run(nil, a, b, c)
+	return d
+}
+
+// RunInto executes like Run but writes the result into dst, which must
+// be an M×N tensor of the epilogue's output dtype and must not alias
+// any operand (the planner guarantees this for arena destinations).
+// A nil dst allocates. It returns the destination.
+func (g *Gemm) RunInto(dst *tensor.Tensor, a, b, c *tensor.Tensor) *tensor.Tensor {
+	d, _ := g.run(dst, a, b, c)
 	return d
 }
 
@@ -45,10 +54,10 @@ func (g *Gemm) Run(a, b, c *tensor.Tensor) *tensor.Tensor {
 // column-sum reduction tensor when Epilogue.ReduceColumns is set
 // (nil otherwise).
 func (g *Gemm) RunWithReduction(a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
-	return g.run(a, b, c)
+	return g.run(nil, a, b, c)
 }
 
-func (g *Gemm) run(a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+func (g *Gemm) run(out *tensor.Tensor, a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 	as, bs := a.Shape(), b.Shape()
 	if len(as) != 2 || len(bs) != 2 {
 		panic(fmt.Sprintf("cutlass: gemm operands must be 2-D, got %v x %v", as, bs))
@@ -75,13 +84,19 @@ func (g *Gemm) run(a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 		cdata = c.Data()
 	}
 
-	out := tensor.New(g.Epilogue.OutDType, m, n)
+	if out == nil {
+		out = tensor.New(g.Epilogue.OutDType, m, n)
+	} else if out.NumElements() != m*n {
+		panic(fmt.Sprintf("cutlass: gemm destination has %d elements, want %dx%d", out.NumElements(), m, n))
+	}
 	od := out.Data()
 	ad, bd := a.Data(), b.Data()
 	quant := g.Epilogue.OutDType == tensor.FP16
 
 	rowsDone := parallelRows(m, func(i0, i1 int) {
-		acc := make([]float32, n)
+		accp := getAcc(n)
+		defer putAcc(accp)
+		acc := *accp
 		for i := i0; i < i1; i++ {
 			for j := range acc {
 				acc[j] = 0
@@ -131,8 +146,62 @@ func (g *Gemm) run(a, b, c *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
 	return out, reduced
 }
 
-// parallelRows splits [0, m) across workers. Small problems run inline
-// to avoid goroutine overhead in tight test loops.
+// accPool recycles per-worker accumulator scratch so the serving hot
+// path does not allocate one slice per kernel invocation.
+var accPool sync.Pool
+
+func getAcc(n int) *[]float32 {
+	if v, _ := accPool.Get().(*[]float32); v != nil && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	s := make([]float32, n)
+	return &s
+}
+
+func putAcc(s *[]float32) { accPool.Put(s) }
+
+// rowTask is one chunk of a parallelRows call, executed by the
+// persistent worker pool.
+type rowTask struct {
+	f      func(i0, i1 int)
+	i0, i1 int
+	wg     *sync.WaitGroup
+}
+
+func (t rowTask) run() {
+	t.f(t.i0, t.i1)
+	t.wg.Done()
+}
+
+var (
+	rowPoolOnce sync.Once
+	rowTasks    chan rowTask
+)
+
+// startRowPool spawns the long-lived workers. A persistent pool (vs.
+// per-call goroutines) keeps the per-kernel cost to one counter
+// allocation, which is what lets a planned Module.Run stay nearly
+// allocation-free.
+func startRowPool() {
+	n := runtime.GOMAXPROCS(0)
+	rowTasks = make(chan rowTask, 4*n)
+	for w := 0; w < n; w++ {
+		go func() {
+			for t := range rowTasks {
+				t.run()
+			}
+		}()
+	}
+}
+
+// parallelRows splits [0, m) across the persistent worker pool. Small
+// problems run inline to avoid synchronization overhead in tight test
+// loops; when the pool's queue is full, chunks also run inline rather
+// than block. Before parking, the submitter drains the queue itself,
+// so a task that re-enters parallelRows cannot deadlock the pool: a
+// goroutine only ever parks waiting on chunks held by actively-running
+// goroutines (the wait graph follows task ownership and is acyclic).
 func parallelRows(m int, f func(i0, i1 int)) int {
 	workers := runtime.GOMAXPROCS(0)
 	if m < 64 || workers == 1 {
@@ -142,22 +211,32 @@ func parallelRows(m int, f func(i0, i1 int)) int {
 	if workers > m {
 		workers = m
 	}
+	rowPoolOnce.Do(startRowPool)
 	chunk := (m + workers - 1) / workers
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
+	for i0 := 0; i0 < m; i0 += chunk {
 		i1 := i0 + chunk
 		if i1 > m {
 			i1 = m
 		}
-		if i0 >= i1 {
-			break
-		}
 		wg.Add(1)
-		go func(a, b int) {
-			defer wg.Done()
-			f(a, b)
-		}(i0, i1)
+		t := rowTask{f: f, i0: i0, i1: i1, wg: &wg}
+		select {
+		case rowTasks <- t:
+		default:
+			t.run()
+		}
+	}
+	// Help with whatever is queued (our own chunks included), then
+	// park until stolen chunks finish.
+	for {
+		select {
+		case t := <-rowTasks:
+			t.run()
+			continue
+		default:
+		}
+		break
 	}
 	wg.Wait()
 	return workers

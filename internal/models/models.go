@@ -26,7 +26,13 @@ const (
 
 // VGG builds VGG-16 or VGG-19 (Simonyan & Zisserman) with BiasAdd+ReLU
 // after every conv and the three FC layers.
-func VGG(depth, batch int) *relay.Graph {
+func VGG(depth, batch int) *relay.Graph { return VGGAt(depth, batch, imageSize) }
+
+// VGGAt builds VGG at a custom input resolution (size must survive the
+// five 2x2 pools, i.e. be a positive multiple of 32). Reduced sizes
+// make functional-execution tests affordable; performance experiments
+// use the ImageNet default.
+func VGGAt(depth, batch, size int) *relay.Graph {
 	var blocks [][]int
 	switch depth {
 	case 16:
@@ -38,7 +44,7 @@ func VGG(depth, batch int) *relay.Graph {
 	}
 	b := relay.NewBuilder()
 	b.LazyWeights = true
-	x := b.Input("data", tensor.FP16, batch, 3, imageSize, imageSize)
+	x := b.Input("data", tensor.FP16, batch, 3, size, size)
 	ic := 3
 	li := 0
 	for _, stage := range blocks {
@@ -93,10 +99,14 @@ func convBN(b *relay.Builder, x *relay.Node, name string, ic, oc, kernel, stride
 }
 
 // ResNet builds ResNet-18 (basic blocks) or ResNet-50 (bottlenecks).
-func ResNet(depth, batch int) *relay.Graph {
+func ResNet(depth, batch int) *relay.Graph { return ResNetAt(depth, batch, imageSize) }
+
+// ResNetAt builds ResNet at a custom input resolution (the classifier
+// adapts via global average pooling).
+func ResNetAt(depth, batch, size int) *relay.Graph {
 	b := relay.NewBuilder()
 	b.LazyWeights = true
-	x := b.Input("data", tensor.FP16, batch, 3, imageSize, imageSize)
+	x := b.Input("data", tensor.FP16, batch, 3, size, size)
 	x = convBN(b, x, "stem", 3, 64, 7, 2, 3, true)
 	x = b.MaxPool(x, 3, 2, 1)
 
@@ -197,6 +207,12 @@ type RepVGGOptions struct {
 
 // RepVGG builds a deploy-mode RepVGG variant.
 func RepVGG(variant string, batch int, opts RepVGGOptions) *relay.Graph {
+	return RepVGGAt(variant, batch, imageSize, opts)
+}
+
+// RepVGGAt builds a deploy-mode RepVGG variant at a custom input
+// resolution.
+func RepVGGAt(variant string, batch, size int, opts RepVGGOptions) *relay.Graph {
 	spec := RepVGGVariant(variant)
 	act := opts.Activation
 	if act == cutlass.ActIdentity {
@@ -204,7 +220,7 @@ func RepVGG(variant string, batch int, opts RepVGGOptions) *relay.Graph {
 	}
 	b := relay.NewBuilder()
 	b.LazyWeights = true
-	x := b.Input("data", tensor.FP16, batch, 3, imageSize, imageSize)
+	x := b.Input("data", tensor.FP16, batch, 3, size, size)
 
 	li := 0
 	deepened := 0

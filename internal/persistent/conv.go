@@ -101,6 +101,13 @@ func (f *FusedConv) Name() string {
 // conv kernel unfused. weights[i] is OHWI for layer i; biases[i] may be
 // nil.
 func (f *FusedConv) Run(x *tensor.Tensor, weights, biases []*tensor.Tensor) *tensor.Tensor {
+	return f.RunInto(nil, x, weights, biases)
+}
+
+// RunInto executes like Run but the final layer writes into dst (nil
+// allocates); in-chain intermediates stay kernel-internal. It returns
+// the destination.
+func (f *FusedConv) RunInto(dst *tensor.Tensor, x *tensor.Tensor, weights, biases []*tensor.Tensor) *tensor.Tensor {
 	if len(weights) != len(f.Layers) {
 		panic(fmt.Sprintf("persistent: %d weights for %d conv layers", len(weights), len(f.Layers)))
 	}
@@ -111,7 +118,11 @@ func (f *FusedConv) Run(x *tensor.Tensor, weights, biases []*tensor.Tensor) *ten
 		if biases != nil {
 			b = biases[i]
 		}
-		cur = conv.Run(cur, weights[i], b)
+		var out *tensor.Tensor
+		if i == len(f.Layers)-1 {
+			out = dst
+		}
+		cur = conv.RunInto(out, cur, weights[i], b)
 	}
 	return cur
 }

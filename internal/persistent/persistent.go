@@ -169,6 +169,14 @@ func (f *FusedGemm) Name() string {
 // main loop, exactly as the unfused pipeline's store+load would).
 // weights[i] is layer i's K×N matrix; biases[i] may be nil.
 func (f *FusedGemm) Run(a0 *tensor.Tensor, weights, biases []*tensor.Tensor) *tensor.Tensor {
+	return f.RunInto(nil, a0, weights, biases)
+}
+
+// RunInto executes like Run but the final layer writes into dst (nil
+// allocates); the in-chain intermediates model the fused kernel's
+// register/SMEM residence and never touch the arena. It returns the
+// destination.
+func (f *FusedGemm) RunInto(dst *tensor.Tensor, a0 *tensor.Tensor, weights, biases []*tensor.Tensor) *tensor.Tensor {
 	if len(weights) != len(f.Layers) {
 		panic(fmt.Sprintf("persistent: %d weights for %d layers", len(weights), len(f.Layers)))
 	}
@@ -179,7 +187,11 @@ func (f *FusedGemm) Run(a0 *tensor.Tensor, weights, biases []*tensor.Tensor) *te
 		if biases != nil {
 			c = biases[i]
 		}
-		cur = g.Run(cur, weights[i], c)
+		var out *tensor.Tensor
+		if i == len(f.Layers)-1 {
+			out = dst
+		}
+		cur = g.RunInto(out, cur, weights[i], c)
 	}
 	return cur
 }

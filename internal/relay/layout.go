@@ -26,7 +26,7 @@ func TransformLayout(g *Graph) error {
 	}
 	// Insert input transforms (skipping inputs already fed through one,
 	// so the pass is idempotent).
-	id := freshID(g)
+	id := g.NewID()
 	consumers := g.Consumers()
 	for _, in := range g.Inputs {
 		if len(in.Shape) != 4 || in.Layout != tensor.LayoutNCHW {
@@ -66,7 +66,7 @@ func TransformLayout(g *Graph) error {
 	// caller sees the layout the model was authored in.
 	out := g.Output
 	if len(out.Shape) == 4 && out.Layout == tensor.LayoutNHWC {
-		tr := &Node{ID: freshID(g), Op: OpLayoutTransform, Inputs: []*Node{out},
+		tr := &Node{ID: g.NewID(), Op: OpLayoutTransform, Inputs: []*Node{out},
 			Shape: tensor.Shape{out.Shape[0], out.Shape[3], out.Shape[1], out.Shape[2]},
 			DType: out.DType, Layout: tensor.LayoutNCHW, ToLayout: tensor.LayoutNCHW,
 			Folded: true, Name: "layout_out"}
@@ -131,7 +131,7 @@ func PadChannels(g *Graph) int {
 			newIC := roundUp8(ic)
 			// Pad weights along IC at compile time.
 			wNew := padLastDim(w.Value, newIC)
-			wc := &Node{ID: freshID(g), Op: OpConstant, Name: w.Name + "_padic",
+			wc := &Node{ID: g.NewID(), Op: OpConstant, Name: w.Name + "_padic",
 				Shape: wNew.Shape().Clone(), DType: wNew.DType(), Layout: wNew.Layout(), Value: wNew}
 			g.insertAfter(w, wc)
 			n.Inputs[1] = wc
@@ -140,7 +140,7 @@ func PadChannels(g *Graph) int {
 			// copy itself still costs time (Table 3's "Cost" column).
 			x := n.Inputs[0]
 			xs := x.Shape
-			pad := &Node{ID: freshID(g), Op: OpPadChannels, Inputs: []*Node{x}, PadTo: newIC,
+			pad := &Node{ID: g.NewID(), Op: OpPadChannels, Inputs: []*Node{x}, PadTo: newIC,
 				Shape: tensor.Shape{xs[0], xs[1], xs[2], newIC}, DType: x.DType,
 				Layout: tensor.LayoutNHWC, Name: "pad_ic"}
 			g.insertAfter(x, pad)
@@ -151,7 +151,7 @@ func PadChannels(g *Graph) int {
 		if oc := n.Conv.OC; oc%8 != 0 {
 			newOC := roundUp8(oc)
 			wNew := padOuterDim(n.Inputs[1].ValueOrPanic(), newOC)
-			wc := &Node{ID: freshID(g), Op: OpConstant, Name: w.Name + "_padoc",
+			wc := &Node{ID: g.NewID(), Op: OpConstant, Name: w.Name + "_padoc",
 				Shape: wNew.Shape().Clone(), DType: wNew.DType(), Layout: wNew.Layout(), Value: wNew}
 			g.insertAfter(n.Inputs[1], wc)
 			n.Inputs[1] = wc
@@ -160,7 +160,7 @@ func PadChannels(g *Graph) int {
 				old := n.Inputs[2].Value
 				nb := tensor.New(old.DType(), newOC)
 				copy(nb.Data(), old.Data())
-				bc := &Node{ID: freshID(g), Op: OpConstant, Name: "bias_padoc",
+				bc := &Node{ID: g.NewID(), Op: OpConstant, Name: "bias_padoc",
 					Shape: nb.Shape().Clone(), DType: nb.DType(), Layout: nb.Layout(), Value: nb}
 				g.insertAfter(n.Inputs[2], bc)
 				n.Inputs[2] = bc
@@ -170,7 +170,7 @@ func PadChannels(g *Graph) int {
 			n.Shape = tensor.Shape{oldShape[0], oldShape[1], oldShape[2], newOC}
 			// Folded slice restores the logical channel count for
 			// downstream consumers.
-			sl := &Node{ID: freshID(g), Op: OpSliceChannels, Inputs: []*Node{n}, PadTo: oc,
+			sl := &Node{ID: g.NewID(), Op: OpSliceChannels, Inputs: []*Node{n}, PadTo: oc,
 				Shape: oldShape, DType: n.DType, Layout: tensor.LayoutNHWC,
 				Folded: true, Name: "slice_oc"}
 			g.insertAfter(n, sl)

@@ -1,0 +1,210 @@
+package relay
+
+// This file implements the runtime's static memory planning: a graph
+// liveness analysis plus a greedy best-fit assignment of every
+// intermediate value to a reusable arena buffer. The plan is computed
+// once at compile time; the executor then allocates the arena once and
+// recycles it across kernels and across Run calls, so the serving hot
+// path performs no per-op activation allocation (paper §3.2.3 measures
+// exactly this activation footprint).
+
+// Interval is a node's live range in topological positions: the value
+// is materialized at position Def and must survive until position
+// LastUse (inclusive). The graph output's LastUse extends past the end
+// of the node list because the caller consumes it after execution.
+type Interval struct {
+	Def, LastUse int
+}
+
+// Overlaps reports whether two live ranges intersect.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Def <= o.LastUse && o.Def <= iv.LastUse
+}
+
+// Liveness computes the live range of every node, keyed by node ID.
+// Nodes the graph never consumes (dead inputs kept alive for callers)
+// get a one-position range at their definition.
+func Liveness(g *Graph) map[int]Interval {
+	live := make(map[int]Interval, len(g.Nodes))
+	for i, n := range g.Nodes {
+		live[n.ID] = Interval{Def: i, LastUse: i}
+	}
+	for i, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if iv, ok := live[in.ID]; ok && i > iv.LastUse {
+				iv.LastUse = i
+				live[in.ID] = iv
+			}
+		}
+	}
+	if g.Output != nil {
+		if iv, ok := live[g.Output.ID]; ok {
+			iv.LastUse = len(g.Nodes)
+			live[g.Output.ID] = iv
+		}
+	}
+	return live
+}
+
+// PlanBuffer is one reusable arena buffer: its device size in bytes
+// (what a real allocator would reserve) and its host backing capacity
+// in float32 elements (the functional executor stores every dtype as
+// float32 words).
+type PlanBuffer struct {
+	Bytes int
+	Elems int
+}
+
+// MemoryPlan assigns every intermediate value (every node that is not
+// an input or a constant) to an arena buffer such that no two
+// simultaneously-live values share one. Single-pass elementwise ops
+// may be assigned their first operand's buffer when that operand dies
+// at the op (InPlace); the executor's destination-writing kernels are
+// index-aligned, so reading and writing the same buffer is safe.
+type MemoryPlan struct {
+	// Buffers is the arena layout, in allocation order.
+	Buffers []PlanBuffer
+	// Assign maps node ID -> index into Buffers. Inputs and constants
+	// are absent: they live in caller- or model-owned storage.
+	Assign map[int]int
+	// InPlace marks nodes that compute in place over Inputs[0]'s buffer.
+	InPlace map[int]bool
+	// Live is the liveness analysis the plan was derived from.
+	Live map[int]Interval
+	// NaiveBytes is the sum of every intermediate tensor's size — what
+	// a clone-per-op executor would allocate over one run.
+	NaiveBytes int
+}
+
+// ArenaBytes is the total device footprint of the planned arena.
+func (p *MemoryPlan) ArenaBytes() int {
+	total := 0
+	for _, b := range p.Buffers {
+		total += b.Bytes
+	}
+	return total
+}
+
+// ReuseFactor is how many times over the arena is recycled: the naive
+// sum of intermediates divided by the planned footprint (1.0 means no
+// reuse was possible).
+func (p *MemoryPlan) ReuseFactor() float64 {
+	a := p.ArenaBytes()
+	if a == 0 {
+		return 1
+	}
+	return float64(p.NaiveBytes) / float64(a)
+}
+
+// inPlaceCapable reports whether the op's destination kernel is a
+// single-pass, index-aligned elementwise transform of Inputs[0], so
+// its output may alias that operand's buffer. Flatten qualifies too:
+// it is a pure reinterpretation, and an aliased destination turns its
+// copy into a no-op.
+func inPlaceCapable(op OpKind) bool {
+	switch op {
+	case OpBiasAdd, OpActivation, OpAdd, OpBatchNorm, OpSoftmax, OpFlatten:
+		return true
+	}
+	return false
+}
+
+// planned reports whether the node's value is arena-allocated (inputs
+// are caller-owned, constants are model parameters).
+func planned(n *Node) bool {
+	return n.Op != OpInput && n.Op != OpConstant
+}
+
+// PlanMemory computes the static memory plan for a graph in its
+// current (post-optimization) topological order.
+//
+// The assignment is greedy best-fit in one topological sweep: when a
+// node defines its value, the smallest free buffer that fits is
+// reused; with only smaller free buffers available the largest one is
+// grown; with none, a new buffer is appended. Operand buffers are
+// released after the defining node claims its destination, so a
+// kernel's output never aliases its live operands — except for the
+// sanctioned in-place elementwise case, where the output deliberately
+// takes over the buffer of a first operand that dies at the op.
+func PlanMemory(g *Graph) *MemoryPlan {
+	live := Liveness(g)
+	p := &MemoryPlan{
+		Assign:  make(map[int]int),
+		InPlace: make(map[int]bool),
+		Live:    live,
+	}
+	// occupant[b] is the node ID currently holding buffer b, or -1.
+	occupant := []int{}
+
+	for i, n := range g.Nodes {
+		if !planned(n) {
+			continue
+		}
+		elems := n.Shape.NumElements()
+		bytes := elems * n.DType.Size()
+		p.NaiveBytes += bytes
+
+		bi := -1
+		if inPlaceCapable(n.Op) && len(n.Inputs) > 0 {
+			x := n.Inputs[0]
+			xb, ok := p.Assign[x.ID]
+			if ok && live[x.ID].LastUse == i && occupant[xb] == x.ID &&
+				x.Shape.NumElements() == elems && x.DType == n.DType {
+				bi = xb
+				p.InPlace[n.ID] = true
+			}
+		}
+		if bi < 0 {
+			bi = claimBuffer(p, occupant, bytes, elems)
+			if bi == len(occupant) {
+				occupant = append(occupant, -1)
+			}
+		}
+		if elems > p.Buffers[bi].Elems {
+			p.Buffers[bi].Elems = elems
+		}
+		p.Assign[n.ID] = bi
+		occupant[bi] = n.ID
+
+		// Release operands whose last use is this node.
+		for _, in := range n.Inputs {
+			if ib, ok := p.Assign[in.ID]; ok && live[in.ID].LastUse == i && occupant[ib] == in.ID {
+				occupant[ib] = -1
+			}
+		}
+		// A value nothing consumes (and that is not the output) frees
+		// immediately.
+		if live[n.ID].LastUse == i {
+			occupant[bi] = -1
+		}
+	}
+	return p
+}
+
+// claimBuffer finds a free buffer for a value of the given size:
+// best-fit among free buffers that fit, else grow the largest free
+// one, else append a new buffer. Returns the buffer index (equal to
+// len(occupant) when a new buffer was appended).
+func claimBuffer(p *MemoryPlan, occupant []int, bytes, elems int) int {
+	best, largest := -1, -1
+	for b, occ := range occupant {
+		if occ != -1 {
+			continue
+		}
+		if p.Buffers[b].Bytes >= bytes && (best == -1 || p.Buffers[b].Bytes < p.Buffers[best].Bytes) {
+			best = b
+		}
+		if largest == -1 || p.Buffers[b].Bytes > p.Buffers[largest].Bytes {
+			largest = b
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	if largest >= 0 {
+		p.Buffers[largest].Bytes = bytes
+		return largest
+	}
+	p.Buffers = append(p.Buffers, PlanBuffer{Bytes: bytes, Elems: elems})
+	return len(p.Buffers) - 1
+}

@@ -171,6 +171,26 @@ type Graph struct {
 	Nodes  []*Node
 	Inputs []*Node
 	Output *Node
+
+	// nextID is the low-water mark for NewID; it only grows, so IDs
+	// handed out before a new node is spliced in can never be reissued.
+	nextID int
+}
+
+// NewID returns a node ID distinct from every node already in the
+// graph and from every ID this graph has handed out before. Passes
+// must use it for the nodes they create: the memory planner and the
+// slot-indexed executor key state by node ID, so a collision would
+// silently alias two values.
+func (g *Graph) NewID() int {
+	id := g.nextID
+	for _, n := range g.Nodes {
+		if n.ID >= id {
+			id = n.ID + 1
+		}
+	}
+	g.nextID = id + 1
+	return id
 }
 
 // Validate checks topological ordering and input resolution.

@@ -37,7 +37,6 @@ func (g *Graph) replaceUses(old, new *Node) {
 func FoldBatchNorm(g *Graph) int {
 	consumers := g.Consumers()
 	folded := 0
-	nextID := len(g.Nodes) * 2
 	for _, n := range g.Nodes {
 		if n.Op != OpBatchNorm {
 			continue
@@ -69,17 +68,14 @@ func FoldBatchNorm(g *Graph) int {
 			}
 		}
 		wNew.Quantize()
-		wNode := &Node{ID: nextID, Op: OpConstant, Name: w.Name + "_bnfold",
+		wNode := &Node{ID: g.NewID(), Op: OpConstant, Name: w.Name + "_bnfold",
 			Shape: wNew.Shape().Clone(), DType: wNew.DType(), Layout: wNew.Layout(), Value: wNew}
-		nextID++
 		bias := tensor.FromData(tensor.FP16, shift, oc)
-		bNode := &Node{ID: nextID, Op: OpConstant, Name: w.Name + "_bnbias",
+		bNode := &Node{ID: g.NewID(), Op: OpConstant, Name: w.Name + "_bnbias",
 			Shape: bias.Shape().Clone(), DType: bias.DType(), Layout: bias.Layout(), Value: bias}
-		nextID++
 		conv.Inputs[1] = wNode
-		biasAdd := &Node{ID: nextID, Op: OpBiasAdd, Inputs: []*Node{conv, bNode},
+		biasAdd := &Node{ID: g.NewID(), Op: OpBiasAdd, Inputs: []*Node{conv, bNode},
 			Shape: n.Shape.Clone(), DType: n.DType, Layout: n.Layout}
-		nextID++
 
 		// Splice: constants and the new BiasAdd enter the node list in
 		// place of the BN node.
@@ -290,7 +286,7 @@ func tryFuseGemmChain(g *Graph, chain []*Node, d *gpu.Device) bool {
 	if f.Time(d) >= persistent.UnfusedGemmTime(d, m, layers) {
 		return false // fusion not beneficial (compute-bound chain)
 	}
-	node := &Node{ID: freshID(g), Op: OpPersistentGemm,
+	node := &Node{ID: g.NewID(), Op: OpPersistentGemm,
 		Shape: chain[len(chain)-1].Shape.Clone(), DType: chain[0].DType, Layout: tensor.LayoutRowMajor}
 	node.Inputs = []*Node{chain[0].Inputs[0]}
 	for i, n := range chain {
@@ -328,7 +324,7 @@ func tryFuseConvChain(g *Graph, chain []*Node, d *gpu.Device) bool {
 		return false
 	}
 	last := chain[len(chain)-1]
-	node := &Node{ID: freshID(g), Op: OpPersistentConv,
+	node := &Node{ID: g.NewID(), Op: OpPersistentConv,
 		Shape: last.Shape.Clone(), DType: chain[0].DType, Layout: last.Layout}
 	node.Inputs = []*Node{chain[0].Inputs[0]}
 	for i, n := range chain {
@@ -382,16 +378,6 @@ func AlignFor(n int) int {
 		}
 	}
 	return 1
-}
-
-func freshID(g *Graph) int {
-	max := 0
-	for _, n := range g.Nodes {
-		if n.ID > max {
-			max = n.ID
-		}
-	}
-	return max + 1
 }
 
 // PartitionBYOC assigns each node to the Bolt backend (templated

@@ -6,11 +6,19 @@
 // a sequence of kernels — templated CUTLASS kernels for the Bolt
 // subgraph, plain TVM kernels for the rest — compiled "into a single
 // runtime file".
+//
+// Execution is slot-based and memory-planned: every kernel's value
+// lives at a dense slot index (no map lookups on the hot path), and
+// intermediate tensors are views into a liveness-planned arena that is
+// allocated once and recycled across kernels and across Run calls.
 package rt
 
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
+	"sync"
 
 	"bolt/internal/gpu"
 	"bolt/internal/relay"
@@ -22,6 +30,9 @@ type Kernel struct {
 	Name string
 	// Node is the graph node this kernel implements.
 	Node *relay.Node
+	// Slot is the dense index of this kernel's value in the execution
+	// environment (the node's topological position).
+	Slot int
 	// Desc prices the launch; a zero GridBlocks Desc (folded glue ops,
 	// compile-time constants) costs nothing.
 	Desc gpu.KernelDesc
@@ -29,21 +40,31 @@ type Kernel struct {
 	Launches int
 	// Source is the emitted CUDA-like code (Bolt kernels only).
 	Source string
-	// Exec computes the node's output from the environment.
-	Exec func(env *Env) *tensor.Tensor
+	// Exec computes the node's output. A non-nil dst is the kernel's
+	// planned arena destination: the kernel must write its result there
+	// and return it. A nil dst means allocate (the clone-based
+	// reference semantics).
+	Exec func(env *Env, dst *tensor.Tensor) *tensor.Tensor
 }
 
-// Env holds tensors materialized during execution.
+// Env holds tensors materialized during execution, indexed by kernel
+// slot. Values are a flat slice so the executor's inner loop performs
+// no hashing.
 type Env struct {
-	vals   map[int]*tensor.Tensor
+	vals   []*tensor.Tensor
 	inputs map[string]*tensor.Tensor
 }
 
-// Value returns the computed tensor for a node.
-func (e *Env) Value(n *relay.Node) *tensor.Tensor {
-	v, ok := e.vals[n.ID]
-	if !ok {
-		panic(fmt.Sprintf("rt: node %s not yet computed", n))
+// NewEnv returns an environment with n value slots.
+func NewEnv(n int, inputs map[string]*tensor.Tensor) *Env {
+	return &Env{vals: make([]*tensor.Tensor, n), inputs: inputs}
+}
+
+// Value returns the computed tensor at a slot.
+func (e *Env) Value(slot int) *tensor.Tensor {
+	v := e.vals[slot]
+	if v == nil {
+		panic(fmt.Sprintf("rt: slot %d not yet computed", slot))
 	}
 	return v
 }
@@ -92,16 +113,70 @@ type Module struct {
 	// Tuning reports what compilation's tuning pipeline did (zero for
 	// the baseline tuner, which accounts its search on its own clock).
 	Tuning TuningStats
+	// Plan is the static memory plan the executor allocates its arena
+	// from (set by codegen; nil for hand-built modules, which then
+	// execute clone-based).
+	Plan *relay.MemoryPlan
+
+	// Arena state, built lazily on the first planned Run and reused
+	// across calls; mu serializes planned runs on the shared arena.
+	mu    sync.Mutex
+	arena *tensor.Arena
+	dst   []*tensor.Tensor
+	env   *Env
+	// inputSlots are the env slots holding caller-owned input tensors,
+	// cleared after each planned run so the module does not retain the
+	// previous request's data.
+	inputSlots []int
 }
 
 // Run executes the module functionally and returns the output tensor.
+//
+// With a memory plan (every codegen-compiled module), execution writes
+// intermediates into a shared arena that is allocated on the first
+// call and reused by every subsequent one — the serving-loop hot path.
+// The returned tensor is a view into the arena, valid only until the
+// next Run: callers that retain outputs across calls must Clone them,
+// and concurrent use requires external synchronization that covers
+// consuming (or cloning) the output, not just the call itself — the
+// internal lock only keeps the arena itself consistent. Independent
+// concurrent execution belongs on RunUnplanned.
 func (m *Module) Run(inputs map[string]*tensor.Tensor) *tensor.Tensor {
-	env := &Env{vals: make(map[int]*tensor.Tensor, len(m.Kernels)), inputs: inputs}
+	if m.Plan == nil {
+		return m.exec(NewEnv(len(m.Kernels), inputs), nil)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureArena()
+	m.env.inputs = inputs
+	out := m.exec(m.env, m.dst)
+	// Drop references to caller-owned tensors: the env persists across
+	// calls and must not keep the previous request's inputs reachable.
+	m.env.inputs = nil
+	for _, s := range m.inputSlots {
+		m.env.vals[s] = nil
+	}
+	return out
+}
+
+// RunUnplanned executes with the clone-based reference semantics:
+// every kernel allocates a fresh output and nothing is recycled. It is
+// the oracle the planned executor is validated against bit-for-bit,
+// and is safe for concurrent callers.
+func (m *Module) RunUnplanned(inputs map[string]*tensor.Tensor) *tensor.Tensor {
+	return m.exec(NewEnv(len(m.Kernels), inputs), nil)
+}
+
+func (m *Module) exec(env *Env, dst []*tensor.Tensor) *tensor.Tensor {
 	var out *tensor.Tensor
 	for i := range m.Kernels {
 		k := &m.Kernels[i]
-		v := k.Exec(env)
-		env.vals[k.Node.ID] = v
+		var d *tensor.Tensor
+		if dst != nil {
+			d = dst[i]
+		}
+		v := k.Exec(env, d)
+		env.vals[k.Slot] = v
 		if k.Node == m.Graph.Output {
 			out = v
 		}
@@ -110,6 +185,35 @@ func (m *Module) Run(inputs map[string]*tensor.Tensor) *tensor.Tensor {
 		panic("rt: output node was never executed")
 	}
 	return out
+}
+
+// ensureArena materializes the planned arena and the per-kernel
+// destination views (one tensor header per node, created once; nodes
+// sharing a buffer have disjoint live ranges, so their views are valid
+// whenever the executor reads them).
+func (m *Module) ensureArena() {
+	if m.arena != nil {
+		return
+	}
+	elems := make([]int, len(m.Plan.Buffers))
+	for i, b := range m.Plan.Buffers {
+		elems[i] = b.Elems
+	}
+	m.arena = tensor.NewArena(elems)
+	m.dst = make([]*tensor.Tensor, len(m.Kernels))
+	for i := range m.Kernels {
+		n := m.Kernels[i].Node
+		if n.Op == relay.OpInput {
+			m.inputSlots = append(m.inputSlots, m.Kernels[i].Slot)
+		}
+		bi, ok := m.Plan.Assign[n.ID]
+		if !ok {
+			continue // inputs and constants live outside the arena
+		}
+		buf := m.arena.Buffer(bi)[:n.Shape.NumElements()]
+		m.dst[i] = tensor.View(n.DType, n.Layout, buf, n.Shape...)
+	}
+	m.env = NewEnv(len(m.Kernels), nil)
 }
 
 // Time returns the modeled end-to-end latency of one inference batch
@@ -143,8 +247,8 @@ func (m *Module) LaunchCount() int {
 	return n
 }
 
-// KernelReport returns a per-kernel time breakdown, slowest first,
-// for diagnostics (cmd/boltc -report).
+// KernelTimeRow is a per-kernel time breakdown entry for diagnostics
+// (cmd/boltc -report).
 type KernelTimeRow struct {
 	Name    string
 	Op      string
@@ -152,7 +256,7 @@ type KernelTimeRow struct {
 	Percent float64
 }
 
-// Report summarizes where the time goes.
+// Report summarizes where the time goes, slowest kernel first.
 func (m *Module) Report() []KernelTimeRow {
 	total := m.Time()
 	rows := make([]KernelTimeRow, 0, len(m.Kernels))
@@ -164,28 +268,21 @@ func (m *Module) Report() []KernelTimeRow {
 		t := m.Device.KernelTime(k.Desc)
 		rows = append(rows, KernelTimeRow{Name: k.Name, Op: k.Node.Op.String(), Time: t, Percent: 100 * t / total})
 	}
-	for i := 1; i < len(rows); i++ {
-		r := rows[i]
-		j := i - 1
-		for j >= 0 && rows[j].Time < r.Time {
-			rows[j+1] = rows[j]
-			j--
-		}
-		rows[j+1] = r
-	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Time > rows[j].Time })
 	return rows
 }
 
 // Sources concatenates the emitted kernel sources (the "generated
 // CUDA" a user would inspect).
 func (m *Module) Sources() string {
-	s := ""
+	var b strings.Builder
 	for i := range m.Kernels {
-		if m.Kernels[i].Source != "" {
-			s += m.Kernels[i].Source + "\n"
+		if src := m.Kernels[i].Source; src != "" {
+			b.WriteString(src)
+			b.WriteByte('\n')
 		}
 	}
-	return s
+	return b.String()
 }
 
 // MemoryReport summarizes device-memory usage of a compiled module.
@@ -195,11 +292,23 @@ type MemoryReport struct {
 	// the model's parameters (paper §3.2.3).
 	ParamBytes int
 	// PeakActivationBytes is the largest single intermediate tensor
-	// (a lower bound on the activation arena).
+	// (the lower bound no plan can beat).
 	PeakActivationBytes int
+	// NaiveActivationBytes sums every intermediate tensor — what a
+	// clone-per-op executor allocates over one run.
+	NaiveActivationBytes int
+	// PlannedArenaBytes is the footprint of the liveness-planned arena
+	// the executor actually allocates.
+	PlannedArenaBytes int
+	// ArenaBuffers is the number of distinct reusable buffers.
+	ArenaBuffers int
+	// ReuseFactor is NaiveActivationBytes / PlannedArenaBytes: how many
+	// times over the arena is recycled within one run.
+	ReuseFactor float64
 }
 
-// Memory computes the module's memory report from the graph.
+// Memory computes the module's memory report from the graph and its
+// memory plan (planning on the fly for hand-built modules).
 func (m *Module) Memory() MemoryReport {
 	var r MemoryReport
 	for _, n := range m.Graph.Nodes {
@@ -213,5 +322,13 @@ func (m *Module) Memory() MemoryReport {
 			}
 		}
 	}
+	plan := m.Plan
+	if plan == nil {
+		plan = relay.PlanMemory(m.Graph)
+	}
+	r.NaiveActivationBytes = plan.NaiveBytes
+	r.PlannedArenaBytes = plan.ArenaBytes()
+	r.ArenaBuffers = len(plan.Buffers)
+	r.ReuseFactor = plan.ReuseFactor()
 	return r
 }

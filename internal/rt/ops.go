@@ -14,6 +14,15 @@ import (
 // functional semantics plus a priced kernel descriptor. They are
 // deliberately simple memory-bound SIMT kernels — exactly the ops BYOC
 // leaves outside the Bolt subgraph.
+//
+// Every operator has a destination-writing form (XxxInto) used by the
+// planned executor: the result is written into dst, a pre-planned
+// arena view, so the serving hot path performs no per-op allocation.
+// A nil dst allocates, which is the clone-based reference semantics.
+// The elementwise kernels (bias-add, activation, add, batch-norm,
+// softmax) are single-pass and index-aligned, so dst may alias the
+// first operand's buffer — the in-place case the memory planner emits
+// when that operand dies at the op.
 
 // ElementwiseLikeDesc prices a memory-bound elementwise kernel over
 // `elems` elements with `streams` tensor operands (reads) and one
@@ -40,10 +49,25 @@ func ElementwiseLikeDesc(name string, elems, streams int, flopsPer float64, dt t
 	}
 }
 
+// likeInput returns dst, or a fresh tensor shaped like x when dst is
+// nil.
+func likeInput(dst, x *tensor.Tensor) *tensor.Tensor {
+	if dst != nil {
+		return dst
+	}
+	return tensor.NewWithLayout(x.DType(), x.Layout(), x.Shape()...)
+}
+
 // BiasAddRun broadcasts bias over the trailing (channel) dimension.
 func BiasAddRun(x, bias *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
-	out := x.Clone()
+	return BiasAddInto(nil, x, bias, layout)
+}
+
+// BiasAddInto is the destination form of BiasAddRun; dst may alias x.
+func BiasAddInto(dst, x, bias *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
+	out := likeInput(dst, x)
 	d := out.Data()
+	xd := x.Data()
 	bd := bias.Data()
 	c := len(bd)
 	s := x.Shape()
@@ -52,14 +76,15 @@ func BiasAddRun(x, bias *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
 		for in := 0; in < n; in++ {
 			for ic := 0; ic < ch; ic++ {
 				base := (in*ch + ic) * h * w
+				b := bd[ic]
 				for i := 0; i < h*w; i++ {
-					d[base+i] += bd[ic]
+					d[base+i] = xd[base+i] + b
 				}
 			}
 		}
 	} else {
 		for i := range d {
-			d[i] += bd[i%c]
+			d[i] = xd[i] + bd[i%c]
 		}
 	}
 	out.Quantize()
@@ -68,9 +93,15 @@ func BiasAddRun(x, bias *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
 
 // ActivationRun applies the nonlinearity elementwise.
 func ActivationRun(x *tensor.Tensor, act cutlass.Activation) *tensor.Tensor {
-	out := x.Clone()
+	return ActivationInto(nil, x, act)
+}
+
+// ActivationInto is the destination form of ActivationRun; dst may
+// alias x.
+func ActivationInto(dst, x *tensor.Tensor, act cutlass.Activation) *tensor.Tensor {
+	out := likeInput(dst, x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		d[i] = act.Apply(v)
 	}
 	out.Quantize()
@@ -79,11 +110,16 @@ func ActivationRun(x *tensor.Tensor, act cutlass.Activation) *tensor.Tensor {
 
 // AddRun is elementwise addition.
 func AddRun(a, b *tensor.Tensor) *tensor.Tensor {
-	out := a.Clone()
+	return AddInto(nil, a, b)
+}
+
+// AddInto is the destination form of AddRun; dst may alias a or b.
+func AddInto(dst, a, b *tensor.Tensor) *tensor.Tensor {
+	out := likeInput(dst, a)
 	d := out.Data()
-	bd := b.Data()
+	ad, bd := a.Data(), b.Data()
 	for i := range d {
-		d[i] += bd[i]
+		d[i] = ad[i] + bd[i]
 	}
 	out.Quantize()
 	return out
@@ -91,8 +127,15 @@ func AddRun(a, b *tensor.Tensor) *tensor.Tensor {
 
 // BatchNormRun applies inference-mode BN over the channel axis.
 func BatchNormRun(x, gamma, beta, mean, variance *tensor.Tensor, eps float64, layout tensor.Layout) *tensor.Tensor {
-	out := x.Clone()
+	return BatchNormInto(nil, x, gamma, beta, mean, variance, eps, layout)
+}
+
+// BatchNormInto is the destination form of BatchNormRun; dst may alias
+// x.
+func BatchNormInto(dst, x, gamma, beta, mean, variance *tensor.Tensor, eps float64, layout tensor.Layout) *tensor.Tensor {
+	out := likeInput(dst, x)
 	d := out.Data()
+	xd := x.Data()
 	c := gamma.NumElements()
 	scale := make([]float32, c)
 	shift := make([]float32, c)
@@ -107,14 +150,15 @@ func BatchNormRun(x, gamma, beta, mean, variance *tensor.Tensor, eps float64, la
 		for in := 0; in < n; in++ {
 			for ic := 0; ic < ch; ic++ {
 				base := (in*ch + ic) * h * w
+				sc, sh := scale[ic], shift[ic]
 				for i := 0; i < h*w; i++ {
-					d[base+i] = d[base+i]*scale[ic] + shift[ic]
+					d[base+i] = xd[base+i]*sc + sh
 				}
 			}
 		}
 	} else {
 		for i := range d {
-			d[i] = d[i]*scale[i%c] + shift[i%c]
+			d[i] = xd[i]*scale[i%c] + shift[i%c]
 		}
 	}
 	out.Quantize()
@@ -123,6 +167,13 @@ func BatchNormRun(x, gamma, beta, mean, variance *tensor.Tensor, eps float64, la
 
 // MaxPoolRun computes 2-D max pooling for NHWC or NCHW tensors.
 func MaxPoolRun(x *tensor.Tensor, p relay.PoolAttrs, layout tensor.Layout) *tensor.Tensor {
+	return MaxPoolInto(nil, x, p, layout)
+}
+
+// MaxPoolInto is the destination form of MaxPoolRun; dst must not
+// alias x. The inner loops index the raw data slices directly — no
+// per-element bounds-checked At/Set calls on the hot path.
+func MaxPoolInto(dst, x *tensor.Tensor, p relay.PoolAttrs, layout tensor.Layout) *tensor.Tensor {
 	s := x.Shape()
 	var n, h, w, c int
 	if layout == tensor.LayoutNCHW {
@@ -132,43 +183,68 @@ func MaxPoolRun(x *tensor.Tensor, p relay.PoolAttrs, layout tensor.Layout) *tens
 	}
 	oh := (h+2*p.Pad-p.Kernel)/p.Stride + 1
 	ow := (w+2*p.Pad-p.Kernel)/p.Stride + 1
-	var out *tensor.Tensor
-	get := func(in, ih, iw, ic int) float32 {
+	out := dst
+	if out == nil {
 		if layout == tensor.LayoutNCHW {
-			return x.At(in, ic, ih, iw)
+			out = tensor.NewWithLayout(x.DType(), layout, n, c, oh, ow)
+		} else {
+			out = tensor.NewWithLayout(x.DType(), layout, n, oh, ow, c)
 		}
-		return x.At(in, ih, iw, ic)
 	}
-	if layout == tensor.LayoutNCHW {
-		out = tensor.NewWithLayout(x.DType(), layout, n, c, oh, ow)
-	} else {
-		out = tensor.NewWithLayout(x.DType(), layout, n, oh, ow, c)
-	}
+	xd, od := x.Data(), out.Data()
 	neg := float32(math.Inf(-1))
-	for in := 0; in < n; in++ {
-		for io := 0; io < oh; io++ {
-			for jo := 0; jo < ow; jo++ {
-				for ic := 0; ic < c; ic++ {
-					best := neg
-					for kh := 0; kh < p.Kernel; kh++ {
-						ih := io*p.Stride - p.Pad + kh
-						if ih < 0 || ih >= h {
-							continue
-						}
-						for kw := 0; kw < p.Kernel; kw++ {
-							iw := jo*p.Stride - p.Pad + kw
-							if iw < 0 || iw >= w {
+	if layout == tensor.LayoutNCHW {
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < c; ic++ {
+				plane := (in*c + ic) * h * w
+				oplane := (in*c + ic) * oh * ow
+				for io := 0; io < oh; io++ {
+					for jo := 0; jo < ow; jo++ {
+						best := neg
+						for kh := 0; kh < p.Kernel; kh++ {
+							ih := io*p.Stride - p.Pad + kh
+							if ih < 0 || ih >= h {
 								continue
 							}
-							if v := get(in, ih, iw, ic); v > best {
-								best = v
+							row := plane + ih*w
+							for kw := 0; kw < p.Kernel; kw++ {
+								iw := jo*p.Stride - p.Pad + kw
+								if iw < 0 || iw >= w {
+									continue
+								}
+								if v := xd[row+iw]; v > best {
+									best = v
+								}
 							}
 						}
+						od[oplane+io*ow+jo] = best
 					}
-					if layout == tensor.LayoutNCHW {
-						out.Set(best, in, ic, io, jo)
-					} else {
-						out.Set(best, in, io, jo, ic)
+				}
+			}
+		}
+	} else {
+		for in := 0; in < n; in++ {
+			for io := 0; io < oh; io++ {
+				for jo := 0; jo < ow; jo++ {
+					obase := ((in*oh+io)*ow + jo) * c
+					for ic := 0; ic < c; ic++ {
+						best := neg
+						for kh := 0; kh < p.Kernel; kh++ {
+							ih := io*p.Stride - p.Pad + kh
+							if ih < 0 || ih >= h {
+								continue
+							}
+							for kw := 0; kw < p.Kernel; kw++ {
+								iw := jo*p.Stride - p.Pad + kw
+								if iw < 0 || iw >= w {
+									continue
+								}
+								if v := xd[((in*h+ih)*w+iw)*c+ic]; v > best {
+									best = v
+								}
+							}
+						}
+						od[obase+ic] = best
 					}
 				}
 			}
@@ -179,6 +255,12 @@ func MaxPoolRun(x *tensor.Tensor, p relay.PoolAttrs, layout tensor.Layout) *tens
 
 // GlobalAvgPoolRun averages spatial dims to (N, C).
 func GlobalAvgPoolRun(x *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
+	return GlobalAvgPoolInto(nil, x, layout)
+}
+
+// GlobalAvgPoolInto is the destination form of GlobalAvgPoolRun; dst
+// must not alias x. Inner loops index raw data directly.
+func GlobalAvgPoolInto(dst, x *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
 	s := x.Shape()
 	var n, h, w, c int
 	if layout == tensor.LayoutNCHW {
@@ -186,34 +268,55 @@ func GlobalAvgPoolRun(x *tensor.Tensor, layout tensor.Layout) *tensor.Tensor {
 	} else {
 		n, h, w, c = s[0], s[1], s[2], s[3]
 	}
-	out := tensor.New(x.DType(), n, c)
+	out := dst
+	if out == nil {
+		out = tensor.New(x.DType(), n, c)
+	}
+	xd, od := x.Data(), out.Data()
 	inv := 1 / float32(h*w)
-	for in := 0; in < n; in++ {
-		for ic := 0; ic < c; ic++ {
-			sum := float32(0)
-			for ih := 0; ih < h; ih++ {
-				for iw := 0; iw < w; iw++ {
-					if layout == tensor.LayoutNCHW {
-						sum += x.At(in, ic, ih, iw)
-					} else {
-						sum += x.At(in, ih, iw, ic)
-					}
+	if layout == tensor.LayoutNCHW {
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < c; ic++ {
+				base := (in*c + ic) * h * w
+				sum := float32(0)
+				for i := 0; i < h*w; i++ {
+					sum += xd[base+i]
 				}
+				od[in*c+ic] = sum * inv
 			}
-			out.Set(sum*inv, in, ic)
+		}
+	} else {
+		for in := 0; in < n; in++ {
+			for ic := 0; ic < c; ic++ {
+				sum := float32(0)
+				for i := 0; i < h*w; i++ {
+					sum += xd[(in*h*w+i)*c+ic]
+				}
+				od[in*c+ic] = sum * inv
+			}
 		}
 	}
+	out.Quantize()
 	return out
 }
 
 // SoftmaxRun applies a numerically stable row softmax over the last
 // dimension.
 func SoftmaxRun(x *tensor.Tensor) *tensor.Tensor {
+	return SoftmaxInto(nil, x)
+}
+
+// SoftmaxInto is the destination form of SoftmaxRun; dst may alias x.
+func SoftmaxInto(dst, x *tensor.Tensor) *tensor.Tensor {
 	s := x.Shape()
 	cols := s[len(s)-1]
 	rows := x.NumElements() / cols
-	out := x.Clone()
+	out := likeInput(dst, x)
 	d := out.Data()
+	xd := x.Data()
+	if len(d) > 0 && len(xd) > 0 && &d[0] != &xd[0] {
+		copy(d, xd)
+	}
 	for r := 0; r < rows; r++ {
 		row := d[r*cols : (r+1)*cols]
 		max := row[0]
@@ -239,8 +342,22 @@ func SoftmaxRun(x *tensor.Tensor) *tensor.Tensor {
 
 // FlattenRun reshapes to (N, rest).
 func FlattenRun(x *tensor.Tensor) *tensor.Tensor {
-	n := x.Shape()[0]
-	return tensor.Reshape(x, n, x.NumElements()/n)
+	return FlattenInto(nil, x)
+}
+
+// FlattenInto is the destination form of FlattenRun. When the planner
+// aliases dst to x's buffer (flatten is a pure reinterpretation), the
+// copy degenerates to a no-op.
+func FlattenInto(dst, x *tensor.Tensor) *tensor.Tensor {
+	if dst == nil {
+		n := x.Shape()[0]
+		return tensor.Reshape(x, n, x.NumElements()/n)
+	}
+	d, xd := dst.Data(), x.Data()
+	if len(d) > 0 && len(xd) > 0 && &d[0] != &xd[0] {
+		copy(d, xd)
+	}
+	return dst
 }
 
 // PoolDesc prices a pooling kernel: each output element reads kernel^2

@@ -164,11 +164,13 @@ func TestModuleAccounting(t *testing.T) {
 		Graph:  g,
 		Device: d,
 		Kernels: []Kernel{
-			{Name: "in", Node: n1, Launches: 0,
-				Exec: func(env *Env) *tensor.Tensor { return env.Input("x") }},
-			{Name: "act", Node: n2, Launches: 1,
+			{Name: "in", Node: n1, Slot: 0, Launches: 0,
+				Exec: func(env *Env, dst *tensor.Tensor) *tensor.Tensor { return env.Input("x") }},
+			{Name: "act", Node: n2, Slot: 1, Launches: 1,
 				Desc: ElementwiseLikeDesc("act", 2, 1, 1, tensor.FP32),
-				Exec: func(env *Env) *tensor.Tensor { return ActivationRun(env.Value(n1), cutlass.ActReLU) }},
+				Exec: func(env *Env, dst *tensor.Tensor) *tensor.Tensor {
+					return ActivationInto(dst, env.Value(0), cutlass.ActReLU)
+				}},
 		},
 	}
 	out := m.Run(map[string]*tensor.Tensor{"x": in})
@@ -191,7 +193,7 @@ func TestModuleAccounting(t *testing.T) {
 }
 
 func TestEnvPanicsOnMissing(t *testing.T) {
-	env := &Env{vals: map[int]*tensor.Tensor{}, inputs: map[string]*tensor.Tensor{}}
+	env := NewEnv(0, map[string]*tensor.Tensor{})
 	defer func() {
 		if recover() == nil {
 			t.Error("missing input should panic")

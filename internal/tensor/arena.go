@@ -1,0 +1,50 @@
+package tensor
+
+import "fmt"
+
+// Arena is a set of reusable activation buffers, allocated once from a
+// memory plan and recycled across kernels and across Run calls. It is
+// the host-side stand-in for the device activation arena Bolt
+// pre-allocates next to the model parameters (paper §3.2.3).
+type Arena struct {
+	bufs [][]float32
+}
+
+// NewArena allocates one buffer per requested element capacity.
+func NewArena(elems []int) *Arena {
+	a := &Arena{bufs: make([][]float32, len(elems))}
+	for i, n := range elems {
+		if n < 0 {
+			panic(fmt.Sprintf("tensor: negative arena buffer size %d", n))
+		}
+		a.bufs[i] = make([]float32, n)
+	}
+	return a
+}
+
+// Buffer returns the backing storage of buffer i (aliased, not copied).
+func (a *Arena) Buffer(i int) []float32 { return a.bufs[i] }
+
+// NumBuffers returns how many buffers the arena holds.
+func (a *Arena) NumBuffers() int { return len(a.bufs) }
+
+// FootprintElems returns the total element capacity across buffers.
+func (a *Arena) FootprintElems() int {
+	n := 0
+	for _, b := range a.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// View wraps backing data in a tensor without copying or quantizing —
+// the constructor arena-backed destinations use. The data is aliased;
+// the caller is responsible for the buffer outliving the view and for
+// not reading a view whose buffer has since been recycled.
+func View(dt DType, layout Layout, data []float32, shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if s.NumElements() != len(data) {
+		panic(fmt.Sprintf("tensor: view data length %d does not match shape %v", len(data), s))
+	}
+	return &Tensor{shape: s, dtype: dt, layout: layout, data: data}
+}

@@ -6,13 +6,23 @@ import "fmt"
 // tensor is already NHWC it is deep-copied unchanged. This is the
 // reference semantics for the layout-transformation kernels Bolt folds
 // into a model's first and last layers.
-func ToNHWC(t *Tensor) *Tensor {
+func ToNHWC(t *Tensor) *Tensor { return ToNHWCInto(nil, t) }
+
+// ToNHWCInto permutes into out (which must not alias t's data); a nil
+// out allocates. It returns out.
+func ToNHWCInto(out, t *Tensor) *Tensor {
 	switch t.layout {
 	case LayoutNHWC:
-		return t.Clone()
+		if out == nil {
+			return t.Clone()
+		}
+		copy(out.data, t.data)
+		return out
 	case LayoutNCHW:
 		n, c, h, w := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
-		out := NewWithLayout(t.dtype, LayoutNHWC, n, h, w, c)
+		if out == nil {
+			out = NewWithLayout(t.dtype, LayoutNHWC, n, h, w, c)
+		}
 		src := t.data
 		dst := out.data
 		for in := 0; in < n; in++ {
@@ -33,13 +43,23 @@ func ToNHWC(t *Tensor) *Tensor {
 
 // ToNCHW returns a copy of a 4-D NHWC tensor permuted to NCHW. If the
 // tensor is already NCHW it is deep-copied unchanged.
-func ToNCHW(t *Tensor) *Tensor {
+func ToNCHW(t *Tensor) *Tensor { return ToNCHWInto(nil, t) }
+
+// ToNCHWInto permutes into out (which must not alias t's data); a nil
+// out allocates. It returns out.
+func ToNCHWInto(out, t *Tensor) *Tensor {
 	switch t.layout {
 	case LayoutNCHW:
-		return t.Clone()
+		if out == nil {
+			return t.Clone()
+		}
+		copy(out.data, t.data)
+		return out
 	case LayoutNHWC:
 		n, h, w, c := t.shape[0], t.shape[1], t.shape[2], t.shape[3]
-		out := NewWithLayout(t.dtype, LayoutNCHW, n, c, h, w)
+		if out == nil {
+			out = NewWithLayout(t.dtype, LayoutNCHW, n, c, h, w)
+		}
 		src := t.data
 		dst := out.data
 		for in := 0; in < n; in++ {
@@ -63,7 +83,11 @@ func ToNCHW(t *Tensor) *Tensor {
 // automated kernel padding (Section 3.2.3): tensors whose channel count
 // is not divisible by 8 are padded so alignment-8 (128-bit) vectorized
 // access becomes legal.
-func PadChannels(t *Tensor, newC int) *Tensor {
+func PadChannels(t *Tensor, newC int) *Tensor { return PadChannelsInto(nil, t, newC) }
+
+// PadChannelsInto pads into out (which must not alias t's data); a nil
+// out allocates. It returns out.
+func PadChannelsInto(out, t *Tensor, newC int) *Tensor {
 	if t.layout != LayoutNHWC {
 		panic("tensor: PadChannels requires NHWC layout")
 	}
@@ -72,16 +96,23 @@ func PadChannels(t *Tensor, newC int) *Tensor {
 		panic(fmt.Sprintf("tensor: PadChannels shrinking %d -> %d", c, newC))
 	}
 	if newC == c {
-		return t.Clone()
+		if out == nil {
+			return t.Clone()
+		}
+		copy(out.data, t.data)
+		return out
 	}
-	out := NewWithLayout(t.dtype, LayoutNHWC, n, h, w, newC)
-	for in := 0; in < n; in++ {
-		for ih := 0; ih < h; ih++ {
-			for iw := 0; iw < w; iw++ {
-				srcOff := ((in*h+ih)*w + iw) * c
-				dstOff := ((in*h+ih)*w + iw) * newC
-				copy(out.data[dstOff:dstOff+c], t.data[srcOff:srcOff+c])
-			}
+	if out == nil {
+		out = NewWithLayout(t.dtype, LayoutNHWC, n, h, w, newC)
+	}
+	rows := n * h * w
+	for r := 0; r < rows; r++ {
+		dstRow := out.data[r*newC : (r+1)*newC]
+		copy(dstRow, t.data[r*c:(r+1)*c])
+		// Arena buffers are recycled, so the pad lanes must be
+		// re-zeroed on every execution.
+		for i := c; i < newC; i++ {
+			dstRow[i] = 0
 		}
 	}
 	return out
@@ -89,7 +120,11 @@ func PadChannels(t *Tensor, newC int) *Tensor {
 
 // SliceChannels returns a copy of an NHWC tensor keeping only the first
 // newC channels. It inverts PadChannels on the valid region.
-func SliceChannels(t *Tensor, newC int) *Tensor {
+func SliceChannels(t *Tensor, newC int) *Tensor { return SliceChannelsInto(nil, t, newC) }
+
+// SliceChannelsInto slices into out (which must not alias t's data); a
+// nil out allocates. It returns out.
+func SliceChannelsInto(out, t *Tensor, newC int) *Tensor {
 	if t.layout != LayoutNHWC {
 		panic("tensor: SliceChannels requires NHWC layout")
 	}
@@ -97,15 +132,12 @@ func SliceChannels(t *Tensor, newC int) *Tensor {
 	if newC > c {
 		panic(fmt.Sprintf("tensor: SliceChannels growing %d -> %d", c, newC))
 	}
-	out := NewWithLayout(t.dtype, LayoutNHWC, n, h, w, newC)
-	for in := 0; in < n; in++ {
-		for ih := 0; ih < h; ih++ {
-			for iw := 0; iw < w; iw++ {
-				srcOff := ((in*h+ih)*w + iw) * c
-				dstOff := ((in*h+ih)*w + iw) * newC
-				copy(out.data[dstOff:dstOff+newC], t.data[srcOff:srcOff+newC])
-			}
-		}
+	if out == nil {
+		out = NewWithLayout(t.dtype, LayoutNHWC, n, h, w, newC)
+	}
+	rows := n * h * w
+	for r := 0; r < rows; r++ {
+		copy(out.data[r*newC:(r+1)*newC], t.data[r*c:r*c+newC])
 	}
 	return out
 }
