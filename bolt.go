@@ -176,6 +176,16 @@ func saveCache(log *tunelog.Log, path string) error {
 func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 	var clock gpu.Clock
 	if opts.Baseline {
+		// The opaque tuner has no workload-keyed cache (a tuning log
+		// cannot help shapes it searches from scratch, §2.1) and no
+		// profiling pool, so these options would be silently dropped —
+		// fail loudly instead.
+		if opts.CacheFile != "" {
+			return nil, fmt.Errorf("bolt: Options.CacheFile is not supported with Baseline: the Ansor-style search has no persistent tuning-log integration")
+		}
+		if opts.Jobs > 1 {
+			return nil, fmt.Errorf("bolt: Options.Jobs is not supported with Baseline: the Ansor-style search has no profiling pool")
+		}
 		relay.FoldBatchNorm(g)
 		relay.FuseEpilogue(g)
 		trials := opts.BaselineTrials
@@ -225,13 +235,7 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 	}
 	// Charge the final module build (instantiating and compiling each
 	// selected template into the runtime file).
-	kernels := 0
-	for i := range m.Kernels {
-		if m.Kernels[i].Launches > 0 && m.Kernels[i].Node.IsAnchor() {
-			kernels++
-		}
-	}
-	clock.Advance(30 + 8*float64(kernels))
+	clock.Advance(gpu.ModuleBuildSeconds(m.TemplatedKernels()))
 	return &CompileResult{
 		Module:     m,
 		TuningTime: clock.ElapsedDuration(),

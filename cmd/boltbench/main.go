@@ -49,6 +49,8 @@ func main() {
 	if *quick {
 		s = bench.NewQuickSuite(dev)
 	}
+	// The serving experiment doubles as the PR-3 CI artifact.
+	s.ServingArtifact = "BENCH_pr3.json"
 	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
 
 	regen := func(id string) func() *bench.Table {

@@ -66,6 +66,8 @@ func main() {
 	}
 	if *baseline && (*cacheFile != "" || *jobs > 1) {
 		fmt.Fprintln(os.Stderr, "warning: -cache and -jobs apply to the Bolt pipeline only; ignored with -baseline")
+		*cacheFile = ""
+		*jobs = 1
 	}
 	dev := bolt.T4()
 

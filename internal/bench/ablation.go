@@ -20,7 +20,7 @@ import (
 
 // AblationIDs lists the extension experiments.
 func AblationIDs() []string {
-	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache"}
+	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving"}
 }
 
 // AblationByID returns the regenerator for an ablation id.
@@ -35,6 +35,7 @@ func (s *Suite) AblationByID(id string) func() *Table {
 		"ext-chain":     s.ExtensionDeepChains,
 		"ext-int8":      s.ExtensionINT8,
 		"ext-cache":     s.ExtensionCompileCache,
+		"serving":       s.Serving,
 	}
 	return m[id]
 }

@@ -45,13 +45,7 @@ func (s *Suite) compileBolt(g *relay.Graph) (*rt.Module, *gpu.Clock) {
 	// compiled into the runtime file (nvcc on the generated CUDA).
 	// This — not the candidate search — is most of Bolt's minutes in
 	// Figure 10b.
-	kernels := 0
-	for i := range m.Kernels {
-		if m.Kernels[i].Launches > 0 && m.Kernels[i].Node.IsAnchor() {
-			kernels++
-		}
-	}
-	clock.Advance(30 + 8*float64(kernels))
+	clock.Advance(gpu.ModuleBuildSeconds(m.TemplatedKernels()))
 	return m, clock
 }
 

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"bolt/internal/codegen"
+	"bolt/internal/cutlass"
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+	"bolt/internal/serve"
+	"bolt/internal/tensor"
+	"bolt/internal/tunelog"
+)
+
+// The serving experiment exercises the PR-3 concurrent serving engine:
+// a flood of single-sample requests is coalesced by the dynamic
+// batcher into batch-bucketed runs over lazily compiled variants, and
+// throughput/latency are measured on the simulated device clocks (one
+// per worker), so the numbers are deterministic and model what N
+// device streams deliver. It emits BENCH_pr3.json for CI.
+
+// servingModel builds the batch-1 source CNN the serving experiment
+// feeds through the dynamic batcher: small enough that functional
+// execution stays affordable inside CI, deep enough that every batch
+// variant carries real templated kernels.
+func servingModel() *relay.Graph {
+	b := relay.NewBuilder()
+	x := b.Input("image", tensor.FP16, 1, 8, 32, 32)
+	c := b.Conv2D(x, b.Weight("w1", 16, 3, 3, 8), 1, 1)
+	c = b.BiasAdd(c, b.Weight("b1", 16))
+	c = b.Activation(c, cutlass.ActReLU)
+	c = b.MaxPool(c, 2, 2, 0)
+	c = b.Conv2D(c, b.Weight("w2", 32, 3, 3, 16), 2, 1)
+	c = b.BiasAdd(c, b.Weight("b2", 32))
+	c = b.Activation(c, cutlass.ActReLU)
+	g := b.GlobalAvgPool(c)
+	d := b.Dense(g, b.Weight("fc", 32, 10))
+	return b.Build(b.Softmax(d))
+}
+
+// servingCompiler returns the engine's variant compiler: Rebatch the
+// source at the bucket size and run the regular pipeline backed by a
+// shared in-memory tuning log, so buckets whose workloads overlap (and
+// recompiles of a bucket ever seen before) measure nothing.
+func (s *Suite) servingCompiler(log *tunelog.Log) serve.CompileVariant {
+	src := servingModel()
+	return func(batch int) (*rt.Module, error) {
+		g, err := relay.Rebatch(src, batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := relay.Optimize(g, s.Dev); err != nil {
+			return nil, err
+		}
+		p, _ := s.newProfiler()
+		return codegen.Compile(g, s.Dev, codegen.Options{
+			Tuner: codegen.TunerBolt, Profiler: p, Log: log,
+		})
+	}
+}
+
+// servingRun is one engine configuration's measured result.
+type servingRun struct {
+	Workers    int           `json:"workers"`
+	MaxBucket  int           `json:"max_bucket"`
+	Throughput float64       `json:"throughput_imgs_per_sec"`
+	P50Us      float64       `json:"p50_us"`
+	P99Us      float64       `json:"p99_us"`
+	Batches    map[int]int64 `json:"batches"`
+}
+
+// servingArtifact is the BENCH_pr3.json schema.
+type servingArtifact struct {
+	Model    string       `json:"model"`
+	Requests int          `json:"requests"`
+	Rows     []servingRun `json:"rows"`
+	// WorkerScaling1To4 is throughput(workers=4)/throughput(workers=1)
+	// at the full bucket set — the CI-enforced scaling number.
+	WorkerScaling1To4 float64 `json:"worker_scaling_1_to_4"`
+	// Per-run steady-state allocations of Module.Run on the pooled
+	// executor: one caller vs. eight concurrent callers. Concurrency
+	// must not regress allocation behavior (acceptance: within 2x).
+	SingleCallerAllocsPerRun      float64 `json:"single_caller_allocs_per_run"`
+	ConcurrentCallersAllocsPerRun float64 `json:"concurrent_callers_allocs_per_run"`
+}
+
+// floodEngine floods one engine configuration with the prepared
+// requests and returns its serving stats.
+func (s *Suite) floodEngine(log *tunelog.Log, workers int, buckets []int, inputs []map[string]*tensor.Tensor) serve.Stats {
+	eng, err := serve.New(s.servingCompiler(log), serve.Options{
+		Buckets:     buckets,
+		Workers:     workers,
+		QueueDepth:  len(inputs),
+		BatchWindow: 5 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+	if err := eng.Warm(); err != nil {
+		panic(err)
+	}
+	chans := make([]<-chan serve.Result, len(inputs))
+	for i, in := range inputs {
+		ch, err := eng.InferAsync(in)
+		if err != nil {
+			panic(err)
+		}
+		chans[i] = ch
+	}
+	for _, ch := range chans {
+		if res := <-ch; res.Err != nil {
+			panic(res.Err)
+		}
+	}
+	return eng.Stats()
+}
+
+// measureRunAllocs reports steady-state allocations per Module.Run
+// with the given caller count (the state pool is pre-filled so the
+// measurement sees only the hot path).
+func measureRunAllocs(mod *rt.Module, inputs map[string]*tensor.Tensor, callers, iters int) float64 {
+	states := make([]*rt.ExecState, callers)
+	for i := range states {
+		states[i] = mod.AcquireState()
+	}
+	for _, st := range states {
+		mod.ReleaseState(st)
+	}
+	mod.Run(inputs)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				mod.Run(inputs)
+			}
+		}()
+	}
+	wg.Wait()
+	runtime.ReadMemStats(&m1)
+	return float64(m1.Mallocs-m0.Mallocs) / float64(callers*iters)
+}
+
+func (s *Suite) runServing() servingArtifact {
+	requests := s.ServingRequests
+	inputs := make([]map[string]*tensor.Tensor, requests)
+	for i := range inputs {
+		in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, 1, 8, 32, 32)
+		in.FillRandom(int64(i+1), 1)
+		inputs[i] = map[string]*tensor.Tensor{"image": in}
+	}
+	log := tunelog.New()
+	buckets := []int{1, 2, 4, 8}
+	art := servingArtifact{Model: "servenet-8x32", Requests: requests}
+
+	configs := []struct {
+		workers int
+		buckets []int
+	}{
+		{1, buckets},
+		{2, buckets},
+		{4, buckets},
+		{4, []int{1}}, // batching ablation: same streams, no coalescing
+	}
+	var base, four float64
+	for _, c := range configs {
+		st := s.floodEngine(log, c.workers, c.buckets, inputs)
+		row := servingRun{
+			Workers:    c.workers,
+			MaxBucket:  c.buckets[len(c.buckets)-1],
+			Throughput: st.Throughput(),
+			P50Us:      st.LatencyPercentile(50) * 1e6,
+			P99Us:      st.LatencyPercentile(99) * 1e6,
+			Batches:    st.BatchSizes,
+		}
+		art.Rows = append(art.Rows, row)
+		if c.workers == 1 && len(c.buckets) == len(buckets) {
+			base = row.Throughput
+		}
+		if c.workers == 4 && len(c.buckets) == len(buckets) {
+			four = row.Throughput
+		}
+	}
+	if base > 0 {
+		art.WorkerScaling1To4 = four / base
+	}
+
+	// Steady-state allocation accounting on the batch-1 variant.
+	mod, err := s.servingCompiler(log)(1)
+	if err != nil {
+		panic(err)
+	}
+	art.SingleCallerAllocsPerRun = measureRunAllocs(mod, inputs[0], 1, 16)
+	art.ConcurrentCallersAllocsPerRun = measureRunAllocs(mod, inputs[0], 8, 8)
+	return art
+}
+
+// Serving reproduces the serving-engine experiment: dynamic batching
+// and worker scaling on the simulated device streams. When
+// Suite.ServingArtifact is set, the raw numbers are also written there
+// as JSON (boltbench points it at BENCH_pr3.json).
+func (s *Suite) Serving() *Table {
+	art := s.runServing()
+	t := &Table{
+		ID:      "serving",
+		Title:   fmt.Sprintf("Serving engine: dynamic batching, %d single-sample requests (simulated device time)", art.Requests),
+		Columns: []string{"workers", "buckets", "imgs/s", "p50 us", "p99 us", "batches run", "vs 1 worker"},
+		Notes: []string{
+			"requests flood at sim t=0; latency = completion time on the worker's device clock",
+			fmt.Sprintf("worker scaling 1->4: %.2fx (CI floor: 1.5x)", art.WorkerScaling1To4),
+			fmt.Sprintf("steady-state allocs/run: %.0f single caller, %.0f with 8 concurrent callers",
+				art.SingleCallerAllocsPerRun, art.ConcurrentCallersAllocsPerRun),
+		},
+	}
+	var base float64
+	for _, r := range art.Rows {
+		if r.Workers == 1 && r.MaxBucket == 8 {
+			base = r.Throughput
+		}
+	}
+	for _, r := range art.Rows {
+		speedup := "-"
+		if base > 0 {
+			speedup = f2(r.Throughput / base)
+		}
+		t.AddRow(fmt.Sprint(r.Workers), fmt.Sprintf("1..%d", r.MaxBucket), i0(r.Throughput),
+			f1(r.P50Us), f1(r.P99Us), fmt.Sprint(r.Batches), speedup)
+	}
+	if s.ServingArtifact != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(s.ServingArtifact, append(data, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestServingScalesWithWorkers is the PR-3 acceptance gate: aggregate
+// throughput must scale >1.5x from 1 to 4 workers (it is deterministic
+// on the simulated clocks, so the floor is safe), batching must
+// actually coalesce, and the pooled executor's steady-state allocs
+// must not balloon under concurrency.
+func TestServingScalesWithWorkers(t *testing.T) {
+	s := quick()
+	s.ServingRequests = 32
+	s.ServingArtifact = filepath.Join(t.TempDir(), "BENCH_pr3.json")
+	tab := s.Serving()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("serving table has %d rows, want 4", len(tab.Rows))
+	}
+
+	data, err := os.ReadFile(s.ServingArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art servingArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if art.WorkerScaling1To4 <= 1.5 {
+		t.Errorf("throughput scaling 1->4 workers = %.2fx, want > 1.5x", art.WorkerScaling1To4)
+	}
+	coalesced := false
+	for _, r := range art.Rows {
+		if r.Throughput <= 0 || r.P50Us <= 0 || r.P99Us < r.P50Us {
+			t.Errorf("malformed row: %+v", r)
+		}
+		if r.MaxBucket == 8 && r.Batches[8] > 0 {
+			coalesced = true
+		}
+	}
+	if !coalesced {
+		t.Error("no bucket-8 batch was ever dispatched")
+	}
+	if art.SingleCallerAllocsPerRun <= 0 {
+		t.Errorf("single-caller allocs/run %.1f, want > 0", art.SingleCallerAllocsPerRun)
+	}
+	if art.ConcurrentCallersAllocsPerRun > 2*art.SingleCallerAllocsPerRun {
+		t.Errorf("concurrent allocs/run %.1f exceeds 2x single-caller %.1f",
+			art.ConcurrentCallersAllocsPerRun, art.SingleCallerAllocsPerRun)
+	}
+}

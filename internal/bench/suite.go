@@ -21,6 +21,11 @@ type Suite struct {
 	E2ETrialsPerTask int
 	// Batch is the inference batch size (32 throughout the paper).
 	Batch int
+	// ServingRequests is the flood size for the serving experiment.
+	ServingRequests int
+	// ServingArtifact, when set, is where the serving experiment writes
+	// its JSON artifact (boltbench points it at BENCH_pr3.json).
+	ServingArtifact string
 
 	seed     int64
 	e2eCache []e2eResult
@@ -30,7 +35,8 @@ type Suite struct {
 func NewSuite(dev *gpu.Device) *Suite {
 	return &Suite{
 		Dev: dev, Lib: cublaslike.New(dev),
-		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32, seed: 1,
+		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32,
+		ServingRequests: 96, seed: 1,
 	}
 }
 
@@ -41,6 +47,7 @@ func NewQuickSuite(dev *gpu.Device) *Suite {
 	s := NewSuite(dev)
 	s.MicroTrials = 192
 	s.E2ETrialsPerTask = 96
+	s.ServingRequests = 48
 	return s
 }
 

@@ -1,0 +1,23 @@
+package gpu
+
+// Simulated compilation-cost constants for the final module build: the
+// stage after kernel selection where every chosen CUTLASS template is
+// instantiated and compiled (nvcc) into the single runtime file of
+// paper Figure 3. This build — not the candidate search — is most of
+// Bolt's minutes in Figure 10b, so it is charged explicitly to the
+// tuning clock.
+const (
+	// ModuleBuildBaseSeconds is the fixed cost of assembling and
+	// linking the runtime file (host glue, fallback TVM kernels,
+	// parameter packing) regardless of how many templates were chosen.
+	ModuleBuildBaseSeconds = 30.0
+	// ModuleBuildPerKernelSeconds is the nvcc cost of instantiating and
+	// compiling one selected template into the runtime file.
+	ModuleBuildPerKernelSeconds = 8.0
+)
+
+// ModuleBuildSeconds prices the final module build for a module with
+// the given number of templated (anchor) kernels.
+func ModuleBuildSeconds(templatedKernels int) float64 {
+	return ModuleBuildBaseSeconds + ModuleBuildPerKernelSeconds*float64(templatedKernels)
+}

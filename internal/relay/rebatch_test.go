@@ -1,0 +1,112 @@
+package relay
+
+import (
+	"testing"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+	"bolt/internal/tensor"
+)
+
+// buildRebatchModel is a small conv+dense CNN at the given batch.
+func buildRebatchModel(batch int) *Graph {
+	b := NewBuilder()
+	x := b.Input("image", tensor.FP16, batch, 8, 8, 8)
+	c := b.Conv2D(x, b.Weight("w1", 16, 3, 3, 8), 1, 1)
+	c = b.BiasAdd(c, b.Weight("b1", 16))
+	c = b.Activation(c, cutlass.ActReLU)
+	g := b.GlobalAvgPool(c)
+	d := b.Dense(g, b.Weight("fc", 16, 4))
+	return b.Build(b.Softmax(d))
+}
+
+func TestRebatchShapesAndSharing(t *testing.T) {
+	src := buildRebatchModel(1)
+	got, err := Rebatch(src, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildRebatchModel(6)
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("node count %d, want %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i, n := range got.Nodes {
+		w := want.Nodes[i]
+		if n.Op != w.Op || !n.Shape.Equal(w.Shape) {
+			t.Errorf("node %d: %s, want %s", i, n, w)
+		}
+		if n.Op == OpConv2D && n.Conv.N != 6 {
+			t.Errorf("conv batch %d, want 6", n.Conv.N)
+		}
+	}
+	// Constants are shared by reference, not copied.
+	for i, n := range got.Nodes {
+		if n.Op == OpConstant && n.Value != src.Nodes[i].Value {
+			t.Errorf("constant %s was copied", n.Name)
+		}
+	}
+	// The source graph is untouched.
+	for _, n := range src.Nodes {
+		if n.Op != OpConstant && n.Shape[0] != 1 {
+			t.Errorf("source node %s mutated", n)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebatchIsCompilableClone(t *testing.T) {
+	src := buildRebatchModel(1)
+	g, err := Rebatch(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone must survive the full optimization pipeline without
+	// disturbing the source (passes mutate graphs in place).
+	if err := Optimize(g, gpu.T4()); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatalf("source invalidated: %v", err)
+	}
+	if src.CountOp(OpLayoutTransform) != 0 {
+		t.Error("optimizing the clone leaked layout transforms into the source")
+	}
+	// A plan for the optimized clone must exist (the serving engine
+	// compiles variants through codegen, which plans memory).
+	if p := PlanMemory(g); len(p.Buffers) == 0 {
+		t.Error("rebatched clone has no planned buffers")
+	}
+}
+
+func TestRebatchErrors(t *testing.T) {
+	src := buildRebatchModel(2)
+	if _, err := Rebatch(src, 0); err == nil {
+		t.Error("batch 0 must error")
+	}
+	// A graph whose second input does not carry the batch in dim 0
+	// must be rejected, not silently mis-batched.
+	b := NewBuilder()
+	x := b.Input("x", tensor.FP16, 2, 4)
+	y := b.Input("odd", tensor.FP16, 3, 4)
+	d := b.Dense(x, b.Weight("w", 4, 3))
+	_ = y
+	g := b.Build(d)
+	g.Inputs = append(g.Inputs, y)
+	if _, err := Rebatch(g, 5); err == nil {
+		t.Error("mismatched leading dim must error")
+	}
+}
+
+func TestRebatchSameBatchIsIndependentClone(t *testing.T) {
+	src := buildRebatchModel(2)
+	g, err := Rebatch(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Nodes[0].Shape[0] = 99
+	if src.Nodes[0].Shape[0] != 2 {
+		t.Error("clone shares shape storage with source")
+	}
+}

@@ -105,7 +105,10 @@ type TuningStats struct {
 	TuningSeconds float64
 }
 
-// Module is a compiled, runnable, priceable model.
+// Module is a compiled, runnable, priceable model. After compilation
+// the module is immutable: all per-run mutable state (the activation
+// arena, destination views, and slot environment) lives in ExecState,
+// so any number of goroutines may Run the same module concurrently.
 type Module struct {
 	Graph   *relay.Graph
 	Kernels []Kernel
@@ -113,49 +116,49 @@ type Module struct {
 	// Tuning reports what compilation's tuning pipeline did (zero for
 	// the baseline tuner, which accounts its search on its own clock).
 	Tuning TuningStats
-	// Plan is the static memory plan the executor allocates its arena
-	// from (set by codegen; nil for hand-built modules, which then
-	// execute clone-based).
+	// Plan is the static memory plan execution states allocate their
+	// arenas from (set by codegen; nil for hand-built modules, which
+	// then execute clone-based).
 	Plan *relay.MemoryPlan
 
-	// Arena state, built lazily on the first planned Run and reused
-	// across calls; mu serializes planned runs on the shared arena.
-	mu    sync.Mutex
-	arena *tensor.Arena
-	dst   []*tensor.Tensor
-	env   *Env
+	// progOnce computes the immutable per-program metadata shared by
+	// every ExecState: arena buffer capacities and input slots.
+	progOnce   sync.Once
+	arenaElems []int
 	// inputSlots are the env slots holding caller-owned input tensors,
-	// cleared after each planned run so the module does not retain the
-	// previous request's data.
+	// cleared after each planned run so a pooled state does not retain
+	// the previous request's data.
 	inputSlots []int
+
+	// poolMu guards free, the sync.Pool-style free list of execution
+	// states Run recycles through.
+	poolMu sync.Mutex
+	free   []*ExecState
+
+	// memOnce memoizes Memory for hand-built modules (planning on the
+	// fly is pure but not free).
+	memOnce sync.Once
+	mem     MemoryReport
 }
 
 // Run executes the module functionally and returns the output tensor.
 //
-// With a memory plan (every codegen-compiled module), execution writes
-// intermediates into a shared arena that is allocated on the first
-// call and reused by every subsequent one — the serving-loop hot path.
-// The returned tensor is a view into the arena, valid only until the
-// next Run: callers that retain outputs across calls must Clone them,
-// and concurrent use requires external synchronization that covers
-// consuming (or cloning) the output, not just the call itself — the
-// internal lock only keeps the arena itself consistent. Independent
-// concurrent execution belongs on RunUnplanned.
+// With a memory plan (every codegen-compiled module), Run acquires a
+// pooled execution state, writes intermediates into its
+// liveness-planned arena, copies the output out, and releases the
+// state — so the returned tensor is caller-owned and Run is safe for
+// any number of concurrent callers. After warmup the pool holds one
+// state per peak-concurrent caller and the hot path performs no arena
+// or environment allocation. Callers that want the zero-copy view
+// semantics instead manage a state explicitly with AcquireState /
+// RunOn / ReleaseState.
 func (m *Module) Run(inputs map[string]*tensor.Tensor) *tensor.Tensor {
 	if m.Plan == nil {
 		return m.exec(NewEnv(len(m.Kernels), inputs), nil)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.ensureArena()
-	m.env.inputs = inputs
-	out := m.exec(m.env, m.dst)
-	// Drop references to caller-owned tensors: the env persists across
-	// calls and must not keep the previous request's inputs reachable.
-	m.env.inputs = nil
-	for _, s := range m.inputSlots {
-		m.env.vals[s] = nil
-	}
+	st := m.AcquireState()
+	out := m.RunOn(st, inputs).Clone()
+	m.ReleaseState(st)
 	return out
 }
 
@@ -185,35 +188,6 @@ func (m *Module) exec(env *Env, dst []*tensor.Tensor) *tensor.Tensor {
 		panic("rt: output node was never executed")
 	}
 	return out
-}
-
-// ensureArena materializes the planned arena and the per-kernel
-// destination views (one tensor header per node, created once; nodes
-// sharing a buffer have disjoint live ranges, so their views are valid
-// whenever the executor reads them).
-func (m *Module) ensureArena() {
-	if m.arena != nil {
-		return
-	}
-	elems := make([]int, len(m.Plan.Buffers))
-	for i, b := range m.Plan.Buffers {
-		elems[i] = b.Elems
-	}
-	m.arena = tensor.NewArena(elems)
-	m.dst = make([]*tensor.Tensor, len(m.Kernels))
-	for i := range m.Kernels {
-		n := m.Kernels[i].Node
-		if n.Op == relay.OpInput {
-			m.inputSlots = append(m.inputSlots, m.Kernels[i].Slot)
-		}
-		bi, ok := m.Plan.Assign[n.ID]
-		if !ok {
-			continue // inputs and constants live outside the arena
-		}
-		buf := m.arena.Buffer(bi)[:n.Shape.NumElements()]
-		m.dst[i] = tensor.View(n.DType, n.Layout, buf, n.Shape...)
-	}
-	m.env = NewEnv(len(m.Kernels), nil)
 }
 
 // Time returns the modeled end-to-end latency of one inference batch
@@ -307,28 +281,45 @@ type MemoryReport struct {
 	ReuseFactor float64
 }
 
-// Memory computes the module's memory report from the graph and its
-// memory plan (planning on the fly for hand-built modules).
+// Memory reports the module's memory plan from the graph and its
+// memory plan. The report is computed once and memoized: hand-built
+// modules (Plan == nil) would otherwise re-run relay.PlanMemory on
+// every call.
 func (m *Module) Memory() MemoryReport {
-	var r MemoryReport
-	for _, n := range m.Graph.Nodes {
-		switch n.Op {
-		case relay.OpConstant:
-			r.ParamBytes += n.Shape.NumElements() * n.DType.Size()
-		case relay.OpInput:
-		default:
-			if b := n.Shape.NumElements() * n.DType.Size(); b > r.PeakActivationBytes {
-				r.PeakActivationBytes = b
+	m.memOnce.Do(func() {
+		r := &m.mem
+		for _, n := range m.Graph.Nodes {
+			switch n.Op {
+			case relay.OpConstant:
+				r.ParamBytes += n.Shape.NumElements() * n.DType.Size()
+			case relay.OpInput:
+			default:
+				if b := n.Shape.NumElements() * n.DType.Size(); b > r.PeakActivationBytes {
+					r.PeakActivationBytes = b
+				}
 			}
 		}
+		plan := m.Plan
+		if plan == nil {
+			plan = relay.PlanMemory(m.Graph)
+		}
+		r.NaiveActivationBytes = plan.NaiveBytes
+		r.PlannedArenaBytes = plan.ArenaBytes()
+		r.ArenaBuffers = len(plan.Buffers)
+		r.ReuseFactor = plan.ReuseFactor()
+	})
+	return m.mem
+}
+
+// TemplatedKernels counts the launched anchor kernels: the selected
+// templates that the final module build must instantiate and compile
+// into the runtime file.
+func (m *Module) TemplatedKernels() int {
+	n := 0
+	for i := range m.Kernels {
+		if m.Kernels[i].Launches > 0 && m.Kernels[i].Node.IsAnchor() {
+			n++
+		}
 	}
-	plan := m.Plan
-	if plan == nil {
-		plan = relay.PlanMemory(m.Graph)
-	}
-	r.NaiveActivationBytes = plan.NaiveBytes
-	r.PlannedArenaBytes = plan.ArenaBytes()
-	r.ArenaBuffers = len(plan.Buffers)
-	r.ReuseFactor = plan.ReuseFactor()
-	return r
+	return n
 }

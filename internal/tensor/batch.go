@@ -1,0 +1,57 @@
+package tensor
+
+import "fmt"
+
+// Batch stacking and slicing for the serving engine's dynamic batcher.
+// Every layout the runtime uses stores the declared dim 0 outermost
+// (NCHW/NHWC activations and row-major matrices alike carry the batch
+// there), so one sample is a contiguous row block and stacking/slicing
+// are straight copies.
+
+// sampleElems returns the element count of one leading-dim sample.
+func sampleElems(t *Tensor) int {
+	if len(t.shape) == 0 || t.shape[0] == 0 {
+		panic(fmt.Sprintf("tensor: no batch dimension in shape %v", t.shape))
+	}
+	return len(t.data) / t.shape[0]
+}
+
+// StackBatch concatenates single-sample tensors (leading dim 1, equal
+// shapes) into one batch tensor with leading dim len(samples) — the
+// dynamic batcher's request-coalescing step.
+func StackBatch(samples []*Tensor) *Tensor {
+	if len(samples) == 0 {
+		panic("tensor: StackBatch of zero samples")
+	}
+	first := samples[0]
+	if len(first.shape) == 0 || first.shape[0] != 1 {
+		panic(fmt.Sprintf("tensor: StackBatch sample shape %v must have leading dim 1", first.shape))
+	}
+	shape := first.shape.Clone()
+	shape[0] = len(samples)
+	out := NewWithLayout(first.dtype, first.layout, shape...)
+	per := sampleElems(first)
+	for i, s := range samples {
+		if !s.shape.Equal(first.shape) || s.dtype != first.dtype || s.layout != first.layout {
+			panic(fmt.Sprintf("tensor: StackBatch sample %d is %v, want %v", i, s, first))
+		}
+		copy(out.data[i*per:(i+1)*per], s.data)
+	}
+	return out
+}
+
+// SliceBatch copies sample i of a batch tensor out into a fresh
+// leading-dim-1 tensor — the batcher's response-splitting step. The
+// result owns its data, so it stays valid after the batch tensor's
+// arena is recycled.
+func SliceBatch(t *Tensor, i int) *Tensor {
+	if i < 0 || len(t.shape) == 0 || i >= t.shape[0] {
+		panic(fmt.Sprintf("tensor: SliceBatch index %d out of range for shape %v", i, t.shape))
+	}
+	shape := t.shape.Clone()
+	shape[0] = 1
+	out := &Tensor{shape: shape, dtype: t.dtype, layout: t.layout}
+	per := sampleElems(t)
+	out.data = append([]float32(nil), t.data[i*per:(i+1)*per]...)
+	return out
+}

@@ -1,0 +1,72 @@
+package bolt
+
+import (
+	"time"
+
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+	"bolt/internal/serve"
+)
+
+// Serving-layer re-exports. Engine is the dynamic-batching serving
+// engine of internal/serve; NewEngine wires it to this package's
+// compilation pipeline.
+type (
+	// Engine serves single-sample inference requests over dynamically
+	// batched, batch-bucketed variants of one model.
+	Engine = serve.Engine
+	// ServeStats is a snapshot of an engine's serving counters.
+	ServeStats = serve.Stats
+	// ServeResult is one completed request (InferAsync).
+	ServeResult = serve.Result
+)
+
+// ServeOptions configures NewEngine.
+type ServeOptions struct {
+	// Buckets are the allowed batch sizes (bucket 1 is implied). Nil
+	// means {1, 2, 4, 8}. Each bucket compiles lazily, on first use, as
+	// a batch variant of the source graph.
+	Buckets []int
+	// Workers is the number of concurrent executors (simulated device
+	// streams). Values < 1 mean 1.
+	Workers int
+	// QueueDepth bounds the pending-request queue; Infer blocks when it
+	// is full. Values < 1 mean 1024.
+	QueueDepth int
+	// BatchWindow is how long the batcher holds an underfull batch
+	// hoping to fill the largest bucket (0 = dispatch greedily).
+	BatchWindow time.Duration
+	// CacheFile backs every variant compile with a persistent
+	// tuning-log database: buckets whose workloads were ever profiled
+	// before — by an earlier engine, another variant, or boltc —
+	// recompile measurement-free (the paper's §2.1 serving story).
+	CacheFile string
+	// Jobs is the profiling pool width for variant compiles.
+	Jobs int
+}
+
+// NewEngine starts a serving engine for the graph: requests to Infer
+// are coalesced by a dynamic batcher into batch-bucketed runs, and
+// each bucket's module is compiled on demand from a relay.Rebatch
+// clone of the source graph through the regular pipeline (profiler +
+// tunelog cache). The source graph is never mutated and its weights
+// are shared across all variants.
+func NewEngine(g *Graph, dev *Device, opts ServeOptions) (*Engine, error) {
+	compile := func(batch int) (*rt.Module, error) {
+		vg, err := relay.Rebatch(g, batch)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Compile(vg, dev, Options{CacheFile: opts.CacheFile, Jobs: opts.Jobs})
+		if err != nil {
+			return nil, err
+		}
+		return res.Module, nil
+	}
+	return serve.New(compile, serve.Options{
+		Buckets:     opts.Buckets,
+		Workers:     opts.Workers,
+		QueueDepth:  opts.QueueDepth,
+		BatchWindow: opts.BatchWindow,
+	})
+}
