@@ -207,9 +207,6 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 		return &CompileResult{Module: m, TuningTime: clock.ElapsedDuration()}, nil
 	}
 
-	if err := relay.Optimize(g, dev); err != nil {
-		return nil, err
-	}
 	var cache *tunelog.Log
 	if opts.CacheFile != "" {
 		var err error
@@ -217,14 +214,7 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 			return nil, err
 		}
 	}
-	p := profiler.New(dev, &clock)
-	m, err := codegen.Compile(g, dev, codegen.Options{
-		Tuner:      codegen.TunerBolt,
-		Profiler:   p,
-		Log:        cache,
-		Jobs:       opts.Jobs,
-		EmitSource: opts.EmitSource,
-	})
+	res, err := compileTemplated(g, dev, cache, opts.Jobs, opts.EmitSource)
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +222,31 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 		if err := saveCache(cache, opts.CacheFile); err != nil {
 			return nil, err
 		}
+	}
+	return res, nil
+}
+
+// compileTemplated is the templated (non-baseline) pipeline over an
+// in-memory tuning log: graph optimization, profiling through the
+// log, code generation, and the module-build charge. Compile wraps it
+// with CacheFile load/save; the serving Server calls it directly with
+// a log it loaded once and shares across every tenant's variant
+// compiles.
+func compileTemplated(g *Graph, dev *Device, cache *tunelog.Log, jobs int, emitSource bool) (*CompileResult, error) {
+	var clock gpu.Clock
+	if err := relay.Optimize(g, dev); err != nil {
+		return nil, err
+	}
+	p := profiler.New(dev, &clock)
+	m, err := codegen.Compile(g, dev, codegen.Options{
+		Tuner:      codegen.TunerBolt,
+		Profiler:   p,
+		Log:        cache,
+		Jobs:       jobs,
+		EmitSource: emitSource,
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Charge the final module build (instantiating and compiling each
 	// selected template into the runtime file).

@@ -49,8 +49,9 @@ func main() {
 	if *quick {
 		s = bench.NewQuickSuite(dev)
 	}
-	// The serving experiment doubles as the PR-3 CI artifact.
+	// The serving experiments double as the PR-3/PR-4 CI artifacts.
 	s.ServingArtifact = "BENCH_pr3.json"
+	s.MultiModelArtifact = "BENCH_pr4.json"
 	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
 
 	regen := func(id string) func() *bench.Table {

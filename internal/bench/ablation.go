@@ -20,7 +20,7 @@ import (
 
 // AblationIDs lists the extension experiments.
 func AblationIDs() []string {
-	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving"}
+	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving", "multimodel"}
 }
 
 // AblationByID returns the regenerator for an ablation id.
@@ -36,6 +36,7 @@ func (s *Suite) AblationByID(id string) func() *Table {
 		"ext-int8":      s.ExtensionINT8,
 		"ext-cache":     s.ExtensionCompileCache,
 		"serving":       s.Serving,
+		"multimodel":    s.MultiModel,
 	}
 	return m[id]
 }

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMultiModelFairnessAndPrioritySLO is the PR-4 acceptance gate on
+// the benchmark artifact: under a mixed-priority flood over two
+// tenants sharing one worker pool, no tenant starves (every model's
+// throughput is positive) and the high-priority aggregate p99 does not
+// exceed the bulk p99 — both deterministic claims on the simulated
+// clocks.
+func TestMultiModelFairnessAndPrioritySLO(t *testing.T) {
+	s := quick()
+	s.MultiModelRequests = 16
+	s.MultiModelArtifact = filepath.Join(t.TempDir(), "BENCH_pr4.json")
+	tab := s.MultiModel()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("multimodel table has %d rows, want 2 tenants", len(tab.Rows))
+	}
+
+	data, err := os.ReadFile(s.MultiModelArtifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art multiModelArtifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Rows) != 2 {
+		t.Fatalf("artifact has %d rows, want 2", len(art.Rows))
+	}
+	for _, r := range art.Rows {
+		if r.Requests != int64(art.RequestsPerModel) {
+			t.Errorf("tenant %s served %d requests, want %d", r.Model, r.Requests, art.RequestsPerModel)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("tenant %s starved: throughput %g", r.Model, r.Throughput)
+		}
+		if r.MakespanUs <= 0 {
+			t.Errorf("tenant %s has no simulated makespan", r.Model)
+		}
+		if r.HighP99Us <= 0 || r.BulkP99Us <= 0 {
+			t.Errorf("tenant %s missing per-priority percentiles: %+v", r.Model, r)
+		}
+		if r.HighP99Us > r.BulkP99Us {
+			t.Errorf("tenant %s: high p99 %.1fus exceeds bulk p99 %.1fus", r.Model, r.HighP99Us, r.BulkP99Us)
+		}
+	}
+	if art.HighP99Us > art.BulkP99Us {
+		t.Errorf("aggregate high p99 %.1fus exceeds bulk p99 %.1fus", art.HighP99Us, art.BulkP99Us)
+	}
+	if art.ThroughputRatio <= 0 {
+		t.Errorf("throughput ratio %g, want > 0", art.ThroughputRatio)
+	}
+}

@@ -43,12 +43,13 @@ func servingModel() *relay.Graph {
 	return b.Build(b.Softmax(d))
 }
 
-// servingCompiler returns the engine's variant compiler: Rebatch the
-// source at the bucket size and run the regular pipeline backed by a
-// shared in-memory tuning log, so buckets whose workloads overlap (and
-// recompiles of a bucket ever seen before) measure nothing.
-func (s *Suite) servingCompiler(log *tunelog.Log) serve.CompileVariant {
-	src := servingModel()
+// tenantCompiler returns a serving variant compiler for one source
+// graph: Rebatch the source at the bucket size and run the regular
+// pipeline backed by a shared in-memory tuning log, so buckets whose
+// workloads overlap (and recompiles of a bucket ever seen before)
+// measure nothing. Multiple tenants sharing one log model the
+// server-wide tuning cache.
+func (s *Suite) tenantCompiler(src *relay.Graph, log *tunelog.Log) serve.CompileVariant {
 	return func(batch int) (*rt.Module, error) {
 		g, err := relay.Rebatch(src, batch)
 		if err != nil {
@@ -62,6 +63,11 @@ func (s *Suite) servingCompiler(log *tunelog.Log) serve.CompileVariant {
 			Tuner: codegen.TunerBolt, Profiler: p, Log: log,
 		})
 	}
+}
+
+// servingCompiler is tenantCompiler over the serving experiment's CNN.
+func (s *Suite) servingCompiler(log *tunelog.Log) serve.CompileVariant {
+	return s.tenantCompiler(servingModel(), log)
 }
 
 // servingRun is one engine configuration's measured result.

@@ -26,6 +26,12 @@ type Suite struct {
 	// ServingArtifact, when set, is where the serving experiment writes
 	// its JSON artifact (boltbench points it at BENCH_pr3.json).
 	ServingArtifact string
+	// MultiModelRequests is the per-tenant flood size for the
+	// multi-tenant serving experiment.
+	MultiModelRequests int
+	// MultiModelArtifact, when set, is where the multimodel experiment
+	// writes its JSON artifact (boltbench points it at BENCH_pr4.json).
+	MultiModelArtifact string
 
 	seed     int64
 	e2eCache []e2eResult
@@ -36,7 +42,7 @@ func NewSuite(dev *gpu.Device) *Suite {
 	return &Suite{
 		Dev: dev, Lib: cublaslike.New(dev),
 		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32,
-		ServingRequests: 96, seed: 1,
+		ServingRequests: 96, MultiModelRequests: 64, seed: 1,
 	}
 }
 
@@ -48,6 +54,7 @@ func NewQuickSuite(dev *gpu.Device) *Suite {
 	s.MicroTrials = 192
 	s.E2ETrialsPerTask = 96
 	s.ServingRequests = 48
+	s.MultiModelRequests = 32
 	return s
 }
 

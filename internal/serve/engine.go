@@ -1,13 +1,18 @@
-// Package serve is Bolt's serving layer: a request queue plus a
-// dynamic batcher that coalesces single-sample inference requests into
-// batch-bucketed runs over lazily compiled batch variants of one
-// source model.
+// Package serve is Bolt's serving layer: a multi-tenant request
+// scheduler plus a dynamic batcher that coalesces single-sample
+// inference requests into batch-bucketed runs over lazily compiled
+// batch variants of the deployed models.
 //
 // This is the deployment story of the paper's §1/§2.1 motivation:
 // dynamic-shape workloads arrive continuously, every new batch size is
 // a brand-new workload for the tuner, and Bolt's light-weight profiler
 // (plus the persistent tuning log) is what makes compiling a variant
-// on demand affordable. The engine leans on the PR-3 runtime split —
+// on demand affordable. Serving is a multi-tenant infrastructure
+// problem, so a Server owns one shared worker pool and schedules many
+// models over it: per-model/per-priority FIFO queues, weighted
+// round-robin across tenants, and priority-aware batching (a pending
+// high-priority request preempts the batch window; bulk requests wait
+// for full buckets). The engine leans on the PR-3 runtime split —
 // modules are immutable programs, per-run state lives in pooled
 // rt.ExecStates — so N workers execute one variant concurrently with
 // zero steady-state allocation.
@@ -23,9 +28,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"math"
-	"sort"
-	"sync"
 	"time"
 
 	"bolt/internal/rt"
@@ -34,13 +36,15 @@ import (
 
 // CompileVariant compiles the source model at a leading batch
 // dimension (relay.Rebatch + the regular compilation pipeline; the
-// bolt package wires this to Compile with the tunelog cache).
+// bolt package wires this to the tuning pipeline with a shared
+// tuning-log cache).
 type CompileVariant func(batch int) (*rt.Module, error)
 
 // ErrClosed is returned by Infer after Close.
 var ErrClosed = errors.New("serve: engine closed")
 
-// Options configures an Engine.
+// Options configures a single-model Engine (the pre-multi-tenant
+// surface, kept for compatibility; new code should use NewServer).
 type Options struct {
 	// Buckets are the allowed batch sizes. The batcher always runs a
 	// batch at the largest bucket not exceeding the pending request
@@ -59,28 +63,12 @@ type Options struct {
 	BatchWindow time.Duration
 }
 
+// normalized delegates to the server/deploy normalization so the
+// defaults cannot drift between the two surfaces.
 func (o Options) normalized() Options {
-	if o.Workers < 1 {
-		o.Workers = 1
-	}
-	if o.QueueDepth < 1 {
-		o.QueueDepth = 1024
-	}
-	if len(o.Buckets) == 0 {
-		o.Buckets = []int{1, 2, 4, 8}
-	}
-	set := map[int]bool{1: true}
-	for _, b := range o.Buckets {
-		if b >= 1 {
-			set[b] = true
-		}
-	}
-	buckets := make([]int, 0, len(set))
-	for b := range set {
-		buckets = append(buckets, b)
-	}
-	sort.Ints(buckets)
-	o.Buckets = buckets
+	so := ServerOptions{Workers: o.Workers, QueueDepth: o.QueueDepth}.normalized()
+	o.Workers, o.QueueDepth = so.Workers, so.QueueDepth
+	o.Buckets = normalizeBuckets(o.Buckets)
 	return o
 }
 
@@ -90,6 +78,10 @@ type Result struct {
 	// 1), owned by the caller.
 	Output *tensor.Tensor
 	Err    error
+	// Model names the deployed model that served the request.
+	Model string
+	// Priority is the request's scheduling class.
+	Priority Priority
 	// Batch is the bucket the request was coalesced into.
 	Batch int
 	// Worker is the executor (simulated device stream) that ran it.
@@ -100,400 +92,83 @@ type Result struct {
 	SimLatency float64
 }
 
-// Stats is a snapshot of the engine's serving counters.
-type Stats struct {
-	Requests int64
-	Batches  int64
-	// BatchSizes histograms dispatched batch sizes.
-	BatchSizes map[int]int64
-	// Variants lists the bucket sizes compiled so far.
-	Variants []int
-	// SimMakespan is the largest simulated worker clock: the modeled
-	// wall time to drain everything served so far.
-	SimMakespan float64
-	// Latencies holds recent requests' SimLatency values (a bounded
-	// window of the last latencyWindow completions, unordered), so a
-	// long-running engine's stats stay O(1) in lifetime traffic.
-	Latencies []float64
-}
+// EngineModel is the tenant name single-model compatibility wrappers
+// (New, bolt.NewEngine) register their one model under.
+const EngineModel = "default"
 
-// latencyWindow bounds the retained per-request latency samples.
-const latencyWindow = 4096
-
-// Throughput returns served requests per simulated second.
-func (s Stats) Throughput() float64 {
-	if s.SimMakespan <= 0 {
-		return 0
-	}
-	return float64(s.Requests) / s.SimMakespan
-}
-
-// LatencyPercentile returns the p-th percentile (0..100) of request
-// latencies, in simulated seconds, by the nearest-rank method
-// (ceil(p/100*n)), so small sample windows do not understate the tail.
-func (s Stats) LatencyPercentile(p float64) float64 {
-	if len(s.Latencies) == 0 {
-		return 0
-	}
-	sorted := append([]float64(nil), s.Latencies...)
-	sort.Float64s(sorted)
-	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
-}
-
-type request struct {
-	inputs map[string]*tensor.Tensor
-	resp   chan Result
-}
-
-type batchJob struct {
-	reqs []*request
-}
-
-// variant is one lazily compiled batch-bucketed module.
-type variant struct {
-	once sync.Once
-	mod  *rt.Module
-	time float64 // modeled seconds per batch run
-	err  error
-}
-
-// Engine serves single-sample inference requests over dynamically
-// batched, batch-bucketed variants of one compiled model.
+// Engine is the single-model compatibility view over a Server: the
+// PR-3 serving surface (Infer/InferAsync/Warm/Stats/Close) bound to
+// one deployed model at normal priority.
 type Engine struct {
-	compile CompileVariant
-	opts    Options
-
-	queue    chan *request
-	workerCh []chan batchJob
-	done     chan struct{} // dispatcher exited
-	wg       sync.WaitGroup
-	inflight sync.WaitGroup
-
-	// compileMu serializes variant compilation: concurrent compiles
-	// would race on a shared tuning-cache file and oversubscribe the
-	// profiling pool.
-	compileMu sync.Mutex
-
-	mu       sync.Mutex
-	closed   bool
-	variants map[int]*variant
-	clocks   []float64 // per-worker simulated seconds
-	stats    Stats
-	latRing  int // next overwrite position once Latencies is full
+	srv   *Server
+	model string
 }
 
-// New starts an engine: one dispatcher plus Options.Workers executor
-// goroutines. Variants compile lazily on first use (or eagerly via
-// Warm); Close shuts the engine down after draining in-flight work.
+// New starts a single-model serving engine: a Server with one deployed
+// model. Variants compile lazily on first use (or eagerly via Warm);
+// Close shuts the whole server down after draining in-flight work.
 func New(compile CompileVariant, opts Options) (*Engine, error) {
-	if compile == nil {
-		return nil, errors.New("serve: nil compile function")
-	}
 	opts = opts.normalized()
-	e := &Engine{
-		compile:  compile,
-		opts:     opts,
-		queue:    make(chan *request, opts.QueueDepth),
-		workerCh: make([]chan batchJob, opts.Workers),
-		done:     make(chan struct{}),
-		variants: make(map[int]*variant),
-		clocks:   make([]float64, opts.Workers),
+	srv := NewServer(ServerOptions{
+		Workers:     opts.Workers,
+		QueueDepth:  opts.QueueDepth,
+		BatchWindow: opts.BatchWindow,
+	})
+	if err := srv.Deploy(EngineModel, compile, DeployOptions{Buckets: opts.Buckets}); err != nil {
+		srv.Close()
+		return nil, err
 	}
-	e.stats.BatchSizes = make(map[int]int64)
-	for i := range e.workerCh {
-		e.workerCh[i] = make(chan batchJob, 4)
-		e.wg.Add(1)
-		go e.worker(i)
-	}
-	go e.dispatch()
-	return e, nil
+	return &Engine{srv: srv, model: EngineModel}, nil
 }
+
+// EngineFor returns the single-model Engine view over one deployed
+// model (for compatibility wrappers; the Engine shares the server, and
+// its Close closes the whole server).
+func (s *Server) EngineFor(name string) (*Engine, error) {
+	s.mu.Lock()
+	_, ok := s.tenants[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: model %q: %w", name, ErrNotDeployed)
+	}
+	return &Engine{srv: s, model: name}, nil
+}
+
+// Server returns the underlying multi-tenant server.
+func (e *Engine) Server() *Server { return e.srv }
 
 // Infer runs one single-sample request (every input's leading dim must
 // be 1) and blocks until its batch completes.
 func (e *Engine) Infer(inputs map[string]*tensor.Tensor) (*tensor.Tensor, error) {
-	ch, err := e.InferAsync(inputs)
-	if err != nil {
-		return nil, err
-	}
-	res := <-ch
-	return res.Output, res.Err
+	return e.srv.Infer(e.model, inputs, InferOptions{})
 }
 
 // InferAsync enqueues one single-sample request and returns the
-// channel its Result will be delivered on. The channel is buffered, so
-// a caller that abandons it does not wedge a worker.
+// channel its Result will be delivered on.
 func (e *Engine) InferAsync(inputs map[string]*tensor.Tensor) (<-chan Result, error) {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, ErrClosed
-	}
-	e.inflight.Add(1)
-	e.stats.Requests++
-	e.mu.Unlock()
-	r := &request{inputs: inputs, resp: make(chan Result, 1)}
-	e.queue <- r
-	return r.resp, nil
+	return e.srv.InferAsync(e.model, inputs, InferOptions{})
 }
 
 // Warm compiles the variants for the given buckets (all configured
-// buckets when none are named) before traffic arrives, returning the
-// first compile error.
+// buckets when none are named) before traffic arrives, returning a
+// joined error naming each failed bucket.
 func (e *Engine) Warm(buckets ...int) error {
-	if len(buckets) == 0 {
-		buckets = e.opts.Buckets
-	}
-	for _, b := range buckets {
-		if v := e.variantFor(b); v.err != nil {
-			return v.err
-		}
-	}
-	return nil
+	return e.srv.Warm(e.model, buckets...)
 }
 
-// Stats returns a snapshot of the serving counters.
+// Stats returns a snapshot of the engine's serving counters.
+// SimMakespan is the server-wide largest worker clock, matching the
+// pre-multi-tenant behavior.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	s := e.stats
-	s.BatchSizes = make(map[int]int64, len(e.stats.BatchSizes))
-	for k, v := range e.stats.BatchSizes {
-		s.BatchSizes[k] = v
+	st, ok := e.srv.ModelStats(e.model)
+	if !ok {
+		return Stats{}
 	}
-	s.Variants = make([]int, 0, len(e.variants))
-	for b, v := range e.variants {
-		if v.mod != nil && v.err == nil {
-			s.Variants = append(s.Variants, b)
-		}
-	}
-	sort.Ints(s.Variants)
-	s.Latencies = append([]float64(nil), e.stats.Latencies...)
-	for _, c := range e.clocks {
-		if c > s.SimMakespan {
-			s.SimMakespan = c
-		}
-	}
-	return s
+	st.SimMakespan = e.srv.SimMakespan()
+	return st
 }
 
 // Close rejects new requests, waits for every accepted request to be
-// answered, and stops the dispatcher and workers. Safe to call more
-// than once.
-func (e *Engine) Close() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		<-e.done
-		e.wg.Wait()
-		return
-	}
-	e.closed = true
-	e.mu.Unlock()
-	e.inflight.Wait()
-	close(e.queue)
-	<-e.done
-	e.wg.Wait()
-}
-
-// bucketFor returns the largest configured bucket not exceeding n
-// (bucket 1 always exists).
-func (e *Engine) bucketFor(n int) int {
-	b := 1
-	for _, k := range e.opts.Buckets {
-		if k <= n {
-			b = k
-		}
-	}
-	return b
-}
-
-// dispatch is the batcher: it accumulates queued requests into the
-// largest bucket available and hands batches to workers round-robin
-// (deterministic load balance across the simulated streams).
-func (e *Engine) dispatch() {
-	defer func() {
-		for _, ch := range e.workerCh {
-			close(ch)
-		}
-		close(e.done)
-	}()
-	maxB := e.opts.Buckets[len(e.opts.Buckets)-1]
-	var backlog []*request
-	next := 0
-	for {
-		if len(backlog) == 0 {
-			r, ok := <-e.queue
-			if !ok {
-				return
-			}
-			backlog = append(backlog, r)
-		}
-		backlog = e.fill(backlog, maxB)
-		k := e.bucketFor(len(backlog))
-		job := batchJob{reqs: append([]*request(nil), backlog[:k]...)}
-		backlog = append(backlog[:0], backlog[k:]...)
-		e.workerCh[next] <- job
-		next = (next + 1) % len(e.workerCh)
-	}
-}
-
-// fill grows the backlog toward the largest bucket: it always drains
-// whatever is already queued, and with a batch window configured it
-// waits up to that long for stragglers.
-func (e *Engine) fill(backlog []*request, maxB int) []*request {
-	if e.opts.BatchWindow > 0 && len(backlog) < maxB {
-		timer := time.NewTimer(e.opts.BatchWindow)
-		defer timer.Stop()
-		for len(backlog) < maxB {
-			select {
-			case r, ok := <-e.queue:
-				if !ok {
-					return backlog
-				}
-				backlog = append(backlog, r)
-			case <-timer.C:
-				return backlog
-			}
-		}
-		return backlog
-	}
-	for len(backlog) < maxB {
-		select {
-		case r, ok := <-e.queue:
-			if !ok {
-				return backlog
-			}
-			backlog = append(backlog, r)
-		default:
-			return backlog
-		}
-	}
-	return backlog
-}
-
-func (e *Engine) worker(id int) {
-	defer e.wg.Done()
-	for job := range e.workerCh[id] {
-		e.runBatch(id, job)
-	}
-}
-
-// variantFor resolves (compiling at most once) the module for a batch
-// bucket.
-func (e *Engine) variantFor(batch int) *variant {
-	e.mu.Lock()
-	v := e.variants[batch]
-	if v == nil {
-		v = &variant{}
-		e.variants[batch] = v
-	}
-	e.mu.Unlock()
-	v.once.Do(func() {
-		e.compileMu.Lock()
-		defer e.compileMu.Unlock()
-		mod, err := e.compile(batch)
-		var t float64
-		if err == nil {
-			t = mod.Time()
-		}
-		// Publish under e.mu so Stats (which iterates variants without
-		// going through the Once) is synchronized with this write;
-		// post-Do readers are already ordered by the Once itself.
-		e.mu.Lock()
-		v.mod, v.err, v.time = mod, err, t
-		e.mu.Unlock()
-	})
-	return v
-}
-
-// runBatch executes one dispatched batch on worker id and answers its
-// requests.
-func (e *Engine) runBatch(id int, job batchJob) {
-	k := len(job.reqs)
-	v := e.variantFor(k)
-	var outs []*tensor.Tensor
-	err := v.err
-	if err == nil {
-		outs, err = execBatch(v.mod, job.reqs)
-	}
-	var doneAt float64
-	e.mu.Lock()
-	if err == nil {
-		e.clocks[id] += v.time
-	}
-	doneAt = e.clocks[id]
-	e.stats.Batches++
-	e.stats.BatchSizes[k]++
-	for range job.reqs {
-		if len(e.stats.Latencies) < latencyWindow {
-			e.stats.Latencies = append(e.stats.Latencies, doneAt)
-		} else {
-			e.stats.Latencies[e.latRing] = doneAt
-			e.latRing = (e.latRing + 1) % latencyWindow
-		}
-	}
-	e.mu.Unlock()
-	for i, r := range job.reqs {
-		res := Result{Err: err, Batch: k, Worker: id, SimLatency: doneAt}
-		if err == nil {
-			res.Output = outs[i]
-		}
-		r.resp <- res
-		e.inflight.Done()
-	}
-}
-
-// execBatch stacks the requests' inputs into batch tensors, runs the
-// variant on a pooled execution state, and splits the output back into
-// per-request tensors. Runtime panics (shape mismatches surface that
-// way in this codebase) are converted into request errors rather than
-// taking the worker down.
-func execBatch(mod *rt.Module, reqs []*request) (outs []*tensor.Tensor, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			outs, err = nil, fmt.Errorf("serve: batch execution failed: %v", p)
-		}
-	}()
-	batchIn := make(map[string]*tensor.Tensor, len(reqs[0].inputs))
-	for name := range reqs[0].inputs {
-		if len(reqs) == 1 {
-			batchIn[name] = reqs[0].inputs[name]
-			continue
-		}
-		samples := make([]*tensor.Tensor, len(reqs))
-		for i, r := range reqs {
-			s, ok := r.inputs[name]
-			if !ok {
-				return nil, fmt.Errorf("serve: request %d in batch is missing input %q", i, name)
-			}
-			samples[i] = s
-		}
-		batchIn[name] = tensor.StackBatch(samples)
-	}
-	outs = make([]*tensor.Tensor, len(reqs))
-	if mod.Plan == nil {
-		// Hand-built module without a memory plan: clone-based path.
-		out := mod.Run(batchIn)
-		for i := range reqs {
-			outs[i] = tensor.SliceBatch(out, i)
-		}
-		return outs, nil
-	}
-	st := mod.AcquireState()
-	// Deferred so a recovered execution panic still re-pools the state
-	// (ReleaseState drops the aborted run's input references).
-	defer mod.ReleaseState(st)
-	view := mod.RunOn(st, batchIn)
-	for i := range reqs {
-		outs[i] = tensor.SliceBatch(view, i)
-	}
-	return outs, nil
-}
+// answered, and stops the underlying server. Safe to call more than
+// once.
+func (e *Engine) Close() { e.srv.Close() }

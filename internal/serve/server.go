@@ -1,0 +1,960 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bolt/internal/rt"
+	"bolt/internal/tensor"
+)
+
+// ErrNotDeployed is returned by Infer/Warm/Undeploy for a model name
+// the server does not (or no longer) serve(s).
+var ErrNotDeployed = errors.New("serve: model not deployed")
+
+// bulkWindowFactor is how many batch windows a bulk request holds out
+// for a full bucket before it is dispatched underfull (when
+// InferOptions.MaxWait does not say otherwise).
+const bulkWindowFactor = 4
+
+// ServerOptions configures the resources every deployed model shares:
+// the worker pool, the request queue, and the variant-compile pool.
+type ServerOptions struct {
+	// Workers is the number of concurrent executors — the simulated
+	// device streams, shared by all models. Values < 1 mean 1.
+	Workers int
+	// QueueDepth is the pending-request capacity across all models:
+	// the scheduler stops absorbing arrivals once the queued backlog
+	// reaches it, so producers fill the same-sized channel behind it
+	// and Infer blocks (backpressure; total buffered requests are
+	// bounded by ~2x QueueDepth). Values < 1 mean 1024.
+	QueueDepth int
+	// BatchWindow is the default batch window for models whose
+	// DeployOptions leave it zero: how long the batcher holds an
+	// underfull normal-priority batch hoping to fill the largest
+	// bucket. Zero means dispatch greedily.
+	BatchWindow time.Duration
+	// CompileJobs bounds how many variant compiles (lazy or Warm) run
+	// concurrently. Values < 1 mean 1.
+	CompileJobs int
+	// OnClose, when set, runs exactly once at the end of Close, after
+	// every request is answered and the workers have stopped (the bolt
+	// wrapper persists the shared tuning log here, so closing through
+	// any view — Server or a compatibility Engine — flushes it).
+	OnClose func()
+}
+
+func (o ServerOptions) normalized() ServerOptions {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 1024
+	}
+	if o.CompileJobs < 1 {
+		o.CompileJobs = 1
+	}
+	return o
+}
+
+// DeployOptions configures one model's batching and its share of the
+// server.
+type DeployOptions struct {
+	// Buckets are the allowed batch sizes (bucket 1 is implied and
+	// added if absent; non-positive entries are dropped). Nil means
+	// {1, 2, 4, 8}.
+	Buckets []int
+	// Weight is the model's weighted-round-robin share when several
+	// models contend for workers. Values < 1 mean 1.
+	Weight int
+	// BatchWindow overrides ServerOptions.BatchWindow for this model.
+	BatchWindow time.Duration
+}
+
+// InferOptions classifies one request for the scheduler.
+type InferOptions struct {
+	// Priority is the request's scheduling class (default
+	// PriorityNormal).
+	Priority Priority
+	// MaxWait bounds how long the batcher may hold this request hoping
+	// for a fuller bucket. Zero means the priority's default: the
+	// model's batch window for PriorityNormal, bulkWindowFactor batch
+	// windows for PriorityBulk. PriorityHigh dispatches immediately
+	// and ignores MaxWait — holding a latency-sensitive request would
+	// defeat the class.
+	MaxWait time.Duration
+}
+
+// request is one queued inference request.
+type request struct {
+	t        *tenant
+	inputs   map[string]*tensor.Tensor
+	resp     chan Result
+	priority Priority
+	deadline time.Time // when the batcher stops holding it
+}
+
+// batchJob is one dispatched batch: requests of a single tenant, in
+// priority-then-FIFO order.
+type batchJob struct {
+	t    *tenant
+	reqs []*request
+}
+
+// variant is one lazily compiled batch-bucketed module.
+type variant struct {
+	once sync.Once
+	mod  *rt.Module
+	time float64 // modeled seconds per batch run
+	err  error
+}
+
+// tenantStats are one model's serving counters (guarded by Server.mu).
+type tenantStats struct {
+	requests    int64
+	batches     int64
+	batchSizes  map[int]int64
+	simMakespan float64
+	lat         latWindow
+	priLat      [numPriorities]latWindow
+}
+
+// merge folds another model's counters into this accumulator (latency
+// samples pass through the bounded windows, so merging stays O(window)).
+func (ts *tenantStats) merge(o *tenantStats) {
+	ts.requests += o.requests
+	ts.batches += o.batches
+	for k, v := range o.batchSizes {
+		ts.batchSizes[k] += v
+	}
+	for _, v := range o.lat.samples {
+		ts.lat.add(v)
+	}
+	for pri := range o.priLat {
+		for _, v := range o.priLat[pri].samples {
+			ts.priLat[pri].add(v)
+		}
+	}
+}
+
+// tenant is one deployed model: its compiler, buckets, batching
+// policy, per-priority queues, variant cache, and counters.
+type tenant struct {
+	name    string
+	order   int // deploy order (WRR tie-break, deterministic iteration)
+	compile CompileVariant
+	buckets []int // sorted ascending, 1 always present
+	window  time.Duration
+	weight  int
+
+	wrr      int // smooth weighted-round-robin current weight
+	queues   [numPriorities][]*request
+	pending  int
+	removed  bool
+	variants map[int]*variant
+	stats    tenantStats
+}
+
+// maxBucket returns the tenant's largest configured bucket.
+func (t *tenant) maxBucket() int { return t.buckets[len(t.buckets)-1] }
+
+// Server is a multi-tenant serving engine: several models share one
+// worker pool (the simulated device streams) and one scheduler. Each
+// model keeps per-priority FIFO queues; the scheduler dispatches
+// batches via weighted round-robin across the models that are ready,
+// so no tenant starves, and priorities shape batching within a tenant:
+// a pending high-priority request preempts the batch window, bulk
+// requests wait for full buckets.
+type Server struct {
+	opts ServerOptions
+
+	incoming   chan *request
+	kick       chan struct{} // nudges the scheduler (Close, Undeploy)
+	done       chan struct{} // scheduler exited
+	wg         sync.WaitGroup
+	inflight   sync.WaitGroup
+	compileSem chan struct{} // bounds concurrent variant compiles
+	closeHook  sync.Once     // runs ServerOptions.OnClose exactly once
+
+	mu           sync.Mutex
+	closed       bool
+	flushing     bool // Close started: dispatch greedily, ignore windows
+	nextOrder    int
+	pendingTotal int                // queued (absorbed, undispatched) requests across tenants
+	tenants      map[string]*tenant // live models by name
+	order        []*tenant          // live models in deploy order (scheduler scan + WRR ties)
+	retired      tenantStats        // merged counters of undeployed models (traffic stays counted)
+	workerCh     []chan batchJob
+	clocks       []float64 // per-worker simulated seconds
+}
+
+// NewServer starts a multi-tenant server: one scheduler plus
+// Options.Workers executor goroutines. Models are added with Deploy;
+// Close shuts the server down after draining in-flight work.
+func NewServer(opts ServerOptions) *Server {
+	opts = opts.normalized()
+	s := &Server{
+		opts:       opts,
+		incoming:   make(chan *request, opts.QueueDepth),
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+		compileSem: make(chan struct{}, opts.CompileJobs),
+		tenants:    make(map[string]*tenant),
+		retired:    tenantStats{batchSizes: make(map[int]int64)},
+		workerCh:   make([]chan batchJob, opts.Workers),
+		clocks:     make([]float64, opts.Workers),
+	}
+	for i := range s.workerCh {
+		s.workerCh[i] = make(chan batchJob, 4)
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	go s.schedule()
+	return s
+}
+
+// Deploy registers a model under a unique name. Its batch variants
+// compile lazily on first use (or eagerly via Warm) through the
+// server's shared compile pool.
+func (s *Server) Deploy(name string, compile CompileVariant, opts DeployOptions) error {
+	if compile == nil {
+		return errors.New("serve: nil compile function")
+	}
+	weight := opts.Weight
+	if weight < 1 {
+		weight = 1
+	}
+	window := opts.BatchWindow
+	if window <= 0 {
+		window = s.opts.BatchWindow
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.tenants[name]; ok {
+		return fmt.Errorf("serve: model %q already deployed", name)
+	}
+	t := &tenant{
+		name:     name,
+		order:    s.nextOrder,
+		compile:  compile,
+		buckets:  normalizeBuckets(opts.Buckets),
+		window:   window,
+		weight:   weight,
+		variants: make(map[int]*variant),
+		stats:    tenantStats{batchSizes: make(map[int]int64)},
+	}
+	s.nextOrder++
+	s.tenants[name] = t
+	s.order = append(s.order, t)
+	return nil
+}
+
+// Undeploy removes a model: new requests for it fail with
+// ErrNotDeployed and its queued (not yet dispatched) requests are
+// answered with the same error. Batches already handed to workers
+// complete normally. The model's counters are folded into the
+// aggregate Stats, but the tenant itself — its compiled variants,
+// source-graph closure, and scheduler bookkeeping — is released, so a
+// server cycling Deploy/Undeploy over many models does not accumulate
+// dead state.
+func (s *Server) Undeploy(name string) error {
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: model %q: %w", name, ErrNotDeployed)
+	}
+	delete(s.tenants, name)
+	t.removed = true
+	s.retired.merge(&t.stats)
+	for i, lt := range s.order {
+		if lt == t {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	var orphans []*request
+	for pri := range t.queues {
+		orphans = append(orphans, t.queues[pri]...)
+		t.queues[pri] = nil
+	}
+	s.pendingTotal -= t.pending
+	t.pending = 0
+	s.mu.Unlock()
+	for _, r := range orphans {
+		s.respond(r, Result{
+			Err:      fmt.Errorf("serve: model %q undeployed: %w", name, ErrNotDeployed),
+			Model:    name,
+			Priority: r.priority,
+		})
+	}
+	// The scheduler may be sleeping on a deadline that just vanished.
+	s.nudge()
+	return nil
+}
+
+// Models lists the currently deployed model names, sorted.
+func (s *Server) Models() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infer runs one single-sample request (every input's leading dim must
+// be 1) against a deployed model and blocks until its batch completes.
+func (s *Server) Infer(model string, inputs map[string]*tensor.Tensor, opts InferOptions) (*tensor.Tensor, error) {
+	ch, err := s.InferAsync(model, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := <-ch
+	return res.Output, res.Err
+}
+
+// InferAsync enqueues one single-sample request and returns the
+// channel its Result will be delivered on. The channel is buffered, so
+// a caller that abandons it does not wedge a worker.
+func (s *Server) InferAsync(model string, inputs map[string]*tensor.Tensor, opts InferOptions) (<-chan Result, error) {
+	if opts.Priority < 0 || opts.Priority >= numPriorities {
+		return nil, fmt.Errorf("serve: unknown priority %d", opts.Priority)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t, ok := s.tenants[model]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: model %q: %w", model, ErrNotDeployed)
+	}
+	s.inflight.Add(1)
+	t.stats.requests++
+	wait := opts.MaxWait
+	if opts.Priority == PriorityHigh {
+		wait = 0 // high ignores MaxWait: it dispatches immediately
+	} else if wait <= 0 {
+		if opts.Priority == PriorityBulk {
+			wait = bulkWindowFactor * t.window
+		} else {
+			wait = t.window
+		}
+	}
+	s.mu.Unlock()
+	r := &request{
+		t:        t,
+		inputs:   inputs,
+		resp:     make(chan Result, 1),
+		priority: opts.Priority,
+		deadline: time.Now().Add(wait),
+	}
+	s.incoming <- r
+	return r.resp, nil
+}
+
+// Warm compiles a model's variants for the given buckets (all its
+// configured buckets when none are named) before traffic arrives. The
+// compiles run concurrently through the server's compile pool
+// (ServerOptions.CompileJobs wide); the returned error joins every
+// failed bucket's error, naming the bucket. Warm fails on a closed
+// server, and buckets not yet started when the model is concurrently
+// Undeployed (or the server Closed) fail with ErrNotDeployed/ErrClosed
+// instead of compiling for a dead tenant — compiles already running
+// finish, but are dropped with the tenant.
+func (s *Server) Warm(model string, buckets ...int) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	t, ok := s.tenants[model]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: model %q: %w", model, ErrNotDeployed)
+	}
+	if len(buckets) == 0 {
+		buckets = t.buckets
+	}
+	s.mu.Unlock()
+	errs := make([]error, len(buckets))
+	var wg sync.WaitGroup
+	for i, b := range buckets {
+		wg.Add(1)
+		go func(i, b int) {
+			defer wg.Done()
+			s.mu.Lock()
+			dead := error(nil)
+			switch {
+			case s.closed:
+				dead = ErrClosed
+			case t.removed:
+				dead = ErrNotDeployed
+			}
+			s.mu.Unlock()
+			if dead != nil {
+				errs[i] = fmt.Errorf("bucket %d: %w", b, dead)
+				return
+			}
+			if v := s.variantFor(t, b); v.err != nil {
+				errs[i] = fmt.Errorf("bucket %d: %w", b, v.err)
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// ModelStats returns one deployed model's serving counters.
+func (s *Server) ModelStats(name string) (Stats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return t.snapshotLocked(), true
+}
+
+// Stats aggregates the counters of every model this server has ever
+// deployed (undeployed models' served traffic stays counted; their
+// Variants do not appear, since Undeploy releases the compiled
+// modules). SimMakespan is the largest worker clock: the modeled wall
+// time to drain everything served so far.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg := Stats{
+		Requests:          s.retired.requests,
+		Batches:           s.retired.batches,
+		BatchSizes:        make(map[int]int64),
+		Latencies:         s.retired.lat.snapshot(),
+		PriorityLatencies: make(map[Priority][]float64),
+	}
+	for k, v := range s.retired.batchSizes {
+		agg.BatchSizes[k] = v
+	}
+	for _, pri := range priorityOrder {
+		if w := s.retired.priLat[pri].snapshot(); w != nil {
+			agg.PriorityLatencies[pri] = w
+		}
+	}
+	variants := make(map[int]bool)
+	for _, t := range s.order {
+		agg.Requests += t.stats.requests
+		agg.Batches += t.stats.batches
+		for k, v := range t.stats.batchSizes {
+			agg.BatchSizes[k] += v
+		}
+		for b, v := range t.variants {
+			if v.mod != nil && v.err == nil {
+				variants[b] = true
+			}
+		}
+		agg.Latencies = append(agg.Latencies, t.stats.lat.samples...)
+		for _, pri := range priorityOrder {
+			if w := t.stats.priLat[pri].samples; len(w) > 0 {
+				agg.PriorityLatencies[pri] = append(agg.PriorityLatencies[pri], w...)
+			}
+		}
+	}
+	for b := range variants {
+		agg.Variants = append(agg.Variants, b)
+	}
+	sort.Ints(agg.Variants)
+	for _, c := range s.clocks {
+		if c > agg.SimMakespan {
+			agg.SimMakespan = c
+		}
+	}
+	return agg
+}
+
+// SimMakespan returns the largest worker clock without building the
+// full aggregate snapshot.
+func (s *Server) SimMakespan() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m float64
+	for _, c := range s.clocks {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// snapshotLocked copies one tenant's counters (caller holds s.mu).
+func (t *tenant) snapshotLocked() Stats {
+	st := Stats{
+		Requests:          t.stats.requests,
+		Batches:           t.stats.batches,
+		BatchSizes:        make(map[int]int64, len(t.stats.batchSizes)),
+		SimMakespan:       t.stats.simMakespan,
+		Latencies:         t.stats.lat.snapshot(),
+		PriorityLatencies: make(map[Priority][]float64),
+	}
+	for k, v := range t.stats.batchSizes {
+		st.BatchSizes[k] = v
+	}
+	for b, v := range t.variants {
+		if v.mod != nil && v.err == nil {
+			st.Variants = append(st.Variants, b)
+		}
+	}
+	sort.Ints(st.Variants)
+	for _, pri := range priorityOrder {
+		if w := t.stats.priLat[pri].snapshot(); w != nil {
+			st.PriorityLatencies[pri] = w
+		}
+	}
+	return st
+}
+
+// Close rejects new requests, flushes and answers every accepted
+// request (batch windows are cut short), stops the scheduler and
+// workers, and finally runs ServerOptions.OnClose (once). Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		s.wg.Wait()
+		s.runCloseHook()
+		return
+	}
+	s.closed = true
+	s.flushing = true
+	s.mu.Unlock()
+	s.nudge()
+	s.inflight.Wait()
+	close(s.incoming)
+	<-s.done
+	s.wg.Wait()
+	s.runCloseHook()
+}
+
+func (s *Server) runCloseHook() {
+	s.closeHook.Do(func() {
+		if s.opts.OnClose != nil {
+			s.opts.OnClose()
+		}
+	})
+}
+
+// nudge wakes the scheduler without blocking.
+func (s *Server) nudge() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// respond answers one request and retires it from the in-flight count.
+func (s *Server) respond(r *request, res Result) {
+	r.resp <- res
+	s.inflight.Done()
+}
+
+// enqueue moves an accepted request into its tenant's priority queue
+// (or answers it immediately if the tenant was undeployed in between).
+func (s *Server) enqueue(r *request) {
+	s.mu.Lock()
+	removed := r.t.removed
+	if !removed {
+		r.t.queues[r.priority] = append(r.t.queues[r.priority], r)
+		r.t.pending++
+		s.pendingTotal++
+	}
+	s.mu.Unlock()
+	if removed {
+		s.respond(r, Result{
+			Err:      fmt.Errorf("serve: model %q undeployed: %w", r.t.name, ErrNotDeployed),
+			Model:    r.t.name,
+			Priority: r.priority,
+		})
+	}
+}
+
+// schedule is the scheduler loop: it absorbs arrivals into per-tenant
+// priority queues and dispatches ready batches to workers round-robin
+// (deterministic load balance across the simulated streams). Tenant
+// selection is weighted round-robin; within a tenant, batches drain
+// high-priority requests first.
+func (s *Server) schedule() {
+	defer func() {
+		s.mu.Lock()
+		chs := s.workerCh
+		s.mu.Unlock()
+		for _, ch := range chs {
+			close(ch)
+		}
+		close(s.done)
+	}()
+	open := true // incoming not yet closed
+	next := 0    // next worker, round-robin
+	for {
+		open = s.drainIncoming(open)
+		if job := s.nextJob(time.Now()); job != nil {
+			s.workerCh[next] <- *job
+			next = (next + 1) % len(s.workerCh)
+			continue
+		}
+		if !open && !s.hasPending() {
+			return
+		}
+		s.await(open)
+	}
+}
+
+// drainIncoming absorbs requests already queued on the incoming
+// channel without blocking, stopping once the absorbed backlog reaches
+// QueueDepth (further arrivals stay in the channel, so producers feel
+// backpressure). Returns whether the channel is still open.
+func (s *Server) drainIncoming(open bool) bool {
+	for open {
+		if s.queuesFull() {
+			return true
+		}
+		select {
+		case r, ok := <-s.incoming:
+			if !ok {
+				return false
+			}
+			s.enqueue(r)
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// queuesFull reports whether the absorbed backlog has reached the
+// configured QueueDepth.
+func (s *Server) queuesFull() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingTotal >= s.opts.QueueDepth
+}
+
+// await blocks until something can have changed the schedule: a new
+// arrival (only while the backlog has room), a nudge (Close/Undeploy),
+// or the nearest request deadline.
+func (s *Server) await(open bool) {
+	var inCh chan *request
+	if open && !s.queuesFull() {
+		inCh = s.incoming
+	}
+	var timerC <-chan time.Time
+	if wait, ok := s.nearestDeadline(time.Now()); ok {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	select {
+	case r, ok := <-inCh:
+		if ok {
+			s.enqueue(r)
+		}
+		// A closed channel is noticed by the next drainIncoming.
+	case <-s.kick:
+	case <-timerC:
+	}
+}
+
+// hasPending reports whether any tenant has queued requests.
+func (s *Server) hasPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.order {
+		if t.pending > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nearestDeadline returns how long until the earliest queued request's
+// deadline (clamped to >= 0), or ok=false when nothing is queued. The
+// scan is O(queued requests) because MaxWait can vary per request
+// (FIFO heads are not necessarily earliest); at this simulation's
+// scale (queues bounded near QueueDepth) that is deliberate — an
+// incremental per-queue minimum is the upgrade path if servers ever
+// hold very deep backlogs.
+func (s *Server) nearestDeadline(now time.Time) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var wait time.Duration
+	found := false
+	for _, t := range s.order {
+		for pri := range t.queues {
+			for _, r := range t.queues[pri] {
+				w := r.deadline.Sub(now)
+				if w < 0 {
+					w = 0
+				}
+				if !found || w < wait {
+					wait, found = w, true
+				}
+			}
+		}
+	}
+	return wait, found
+}
+
+// nextJob picks the next batch to dispatch, or nil when no tenant is
+// ready. A tenant is ready when a high-priority request is pending,
+// when its backlog fills its largest bucket, when any queued request's
+// deadline has passed, or when the server is flushing for Close. Among
+// ready tenants, smooth weighted round-robin decides who goes.
+func (s *Server) nextJob(now time.Time) *batchJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ready []*tenant
+	for _, t := range s.order {
+		if t.pending == 0 || t.removed {
+			continue
+		}
+		if s.flushing || len(t.queues[PriorityHigh]) > 0 || t.pending >= t.maxBucket() {
+			ready = append(ready, t)
+			continue
+		}
+		urgent := false
+	scan:
+		for pri := range t.queues {
+			for _, r := range t.queues[pri] {
+				if !r.deadline.After(now) {
+					urgent = true
+					break scan
+				}
+			}
+		}
+		if urgent {
+			ready = append(ready, t)
+		}
+	}
+	if len(ready) == 0 {
+		return nil
+	}
+	t := pickWRR(ready)
+	k := bucketFor(t.buckets, t.pending)
+	reqs := takeBatch(t, k, now)
+	t.pending -= len(reqs)
+	s.pendingTotal -= len(reqs)
+	return &batchJob{t: t, reqs: reqs}
+}
+
+// takeBatch drains up to k of a tenant's queued requests. Requests
+// whose deadline has passed go first (MaxWait is a promise: an expired
+// request must not be bypassed indefinitely by a stream of newer,
+// higher-priority arrivals); the rest fill in priority-then-FIFO
+// order.
+func takeBatch(t *tenant, k int, now time.Time) []*request {
+	reqs := make([]*request, 0, k)
+	for pass := 0; pass < 2; pass++ {
+		for _, pri := range priorityOrder {
+			q := t.queues[pri]
+			kept := q[:0]
+			for _, r := range q {
+				if len(reqs) < k && (pass == 1 || !r.deadline.After(now)) {
+					reqs = append(reqs, r)
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			t.queues[pri] = kept
+		}
+	}
+	return reqs
+}
+
+// pickWRR implements smooth weighted round-robin: every ready tenant
+// gains its weight, the largest current weight wins and pays back the
+// round's total, so interleavings are proportional to weight and
+// deterministic (ready is in deploy order; the first maximum wins).
+func pickWRR(ready []*tenant) *tenant {
+	total := 0
+	var best *tenant
+	for _, t := range ready {
+		t.wrr += t.weight
+		total += t.weight
+		if best == nil || t.wrr > best.wrr {
+			best = t
+		}
+	}
+	best.wrr -= total
+	return best
+}
+
+// normalizeBuckets sorts, dedups, drops non-positive entries, and
+// guarantees bucket 1 (nil means {1, 2, 4, 8}).
+func normalizeBuckets(buckets []int) []int {
+	if len(buckets) == 0 {
+		buckets = []int{1, 2, 4, 8}
+	}
+	set := map[int]bool{1: true}
+	for _, b := range buckets {
+		if b >= 1 {
+			set[b] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for b := range set {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// bucketFor returns the largest bucket not exceeding n (bucket 1
+// always exists).
+func bucketFor(buckets []int, n int) int {
+	b := 1
+	for _, k := range buckets {
+		if k <= n {
+			b = k
+		}
+	}
+	return b
+}
+
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	for job := range s.workerCh[id] {
+		s.runBatch(id, job)
+	}
+}
+
+// variantFor resolves (compiling at most once, through the shared
+// compile pool) a tenant's module for a batch bucket.
+func (s *Server) variantFor(t *tenant, batch int) *variant {
+	s.mu.Lock()
+	v := t.variants[batch]
+	if v == nil {
+		v = &variant{}
+		t.variants[batch] = v
+	}
+	s.mu.Unlock()
+	v.once.Do(func() {
+		s.compileSem <- struct{}{}
+		defer func() { <-s.compileSem }()
+		mod, err := t.compile(batch)
+		var tm float64
+		if err == nil {
+			tm = mod.Time()
+		}
+		// Publish under s.mu so Stats (which iterates variants without
+		// going through the Once) is synchronized with this write;
+		// post-Do readers are already ordered by the Once itself.
+		s.mu.Lock()
+		v.mod, v.err, v.time = mod, err, tm
+		s.mu.Unlock()
+	})
+	return v
+}
+
+// runBatch executes one dispatched batch on worker id and answers its
+// requests.
+func (s *Server) runBatch(id int, job batchJob) {
+	k := len(job.reqs)
+	v := s.variantFor(job.t, k)
+	var outs []*tensor.Tensor
+	err := v.err
+	if err == nil {
+		outs, err = execBatch(v.mod, job.reqs)
+	}
+	s.mu.Lock()
+	if err == nil {
+		s.clocks[id] += v.time
+	}
+	doneAt := s.clocks[id]
+	st := &job.t.stats
+	if job.t.removed {
+		// The tenant was undeployed while this batch was in flight; its
+		// counters were already folded into the retired accumulator, so
+		// record there to keep the aggregate exact.
+		st = &s.retired
+	}
+	st.batches++
+	st.batchSizes[k]++
+	if doneAt > st.simMakespan {
+		st.simMakespan = doneAt
+	}
+	for _, r := range job.reqs {
+		st.lat.add(doneAt)
+		st.priLat[r.priority].add(doneAt)
+	}
+	s.mu.Unlock()
+	for i, r := range job.reqs {
+		res := Result{
+			Err:        err,
+			Model:      job.t.name,
+			Priority:   r.priority,
+			Batch:      k,
+			Worker:     id,
+			SimLatency: doneAt,
+		}
+		if err == nil {
+			res.Output = outs[i]
+		}
+		s.respond(r, res)
+	}
+}
+
+// execBatch stacks the requests' inputs into batch tensors, runs the
+// variant on a pooled execution state, and splits the output back into
+// per-request tensors. Runtime panics (shape mismatches surface that
+// way in this codebase) are converted into request errors rather than
+// taking the worker down.
+func execBatch(mod *rt.Module, reqs []*request) (outs []*tensor.Tensor, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			outs, err = nil, fmt.Errorf("serve: batch execution failed: %v", p)
+		}
+	}()
+	batchIn := make(map[string]*tensor.Tensor, len(reqs[0].inputs))
+	for name := range reqs[0].inputs {
+		if len(reqs) == 1 {
+			batchIn[name] = reqs[0].inputs[name]
+			continue
+		}
+		samples := make([]*tensor.Tensor, len(reqs))
+		for i, r := range reqs {
+			s, ok := r.inputs[name]
+			if !ok {
+				return nil, fmt.Errorf("serve: request %d in batch is missing input %q", i, name)
+			}
+			samples[i] = s
+		}
+		batchIn[name] = tensor.StackBatch(samples)
+	}
+	outs = make([]*tensor.Tensor, len(reqs))
+	if mod.Plan == nil {
+		// Hand-built module without a memory plan: clone-based path.
+		out := mod.Run(batchIn)
+		for i := range reqs {
+			outs[i] = tensor.SliceBatch(out, i)
+		}
+		return outs, nil
+	}
+	st := mod.AcquireState()
+	// Deferred so a recovered execution panic still re-pools the state
+	// (ReleaseState drops the aborted run's input references).
+	defer mod.ReleaseState(st)
+	view := mod.RunOn(st, batchIn)
+	for i := range reqs {
+		outs[i] = tensor.SliceBatch(view, i)
+	}
+	return outs, nil
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"math"
+	"sort"
+)
+
+// Priority classifies a request for the scheduler. Priorities shape
+// *when* a request is batched, never *whether* it is served: the
+// weighted round-robin across tenants guarantees every deployed model
+// makes progress regardless of the priority mix.
+type Priority int
+
+const (
+	// PriorityNormal (the zero value, so it is the default) dispatches
+	// when a full bucket is available or after the tenant's batch
+	// window.
+	PriorityNormal Priority = iota
+	// PriorityHigh is latency-sensitive: its presence preempts the
+	// batch window — the tenant dispatches immediately with whatever is
+	// pending, high-priority requests first.
+	PriorityHigh
+	// PriorityBulk is throughput-oriented: it waits for a full largest
+	// bucket, holding out bulkWindowFactor times the batch window (or
+	// InferOptions.MaxWait) before dispatching underfull.
+	PriorityBulk
+
+	numPriorities = 3
+)
+
+// priorityOrder is the order requests are drained into a batch within
+// one tenant: latency-sensitive first, bulk last.
+var priorityOrder = [numPriorities]Priority{PriorityHigh, PriorityNormal, PriorityBulk}
+
+// Priorities lists every priority in dispatch order (for stats
+// iteration).
+func Priorities() []Priority { return priorityOrder[:] }
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityHigh:
+		return "high"
+	case PriorityNormal:
+		return "normal"
+	case PriorityBulk:
+		return "bulk"
+	}
+	return "invalid"
+}
+
+// Stats is a snapshot of serving counters — per model (ModelStats) or
+// aggregated across every model a server has ever deployed (Stats).
+type Stats struct {
+	Requests int64
+	Batches  int64
+	// BatchSizes histograms dispatched batch sizes.
+	BatchSizes map[int]int64
+	// Variants lists the bucket sizes compiled so far.
+	Variants []int
+	// SimMakespan is the modeled wall time to drain everything served
+	// so far: for a model snapshot, the simulated clock when its last
+	// batch finished; for the aggregate, the largest worker clock.
+	SimMakespan float64
+	// Latencies holds recent requests' SimLatency values, unordered:
+	// for a model snapshot, its last latencyWindow completions; for the
+	// aggregate, each model's window concatenated (so the total is
+	// bounded by models x latencyWindow, and every tenant's recent
+	// traffic is represented regardless of its request rate). Either
+	// way a long-running server's stats stay O(1) in lifetime traffic.
+	Latencies []float64
+	// PriorityLatencies holds the same bounded windows split by request
+	// priority (for per-priority percentiles).
+	PriorityLatencies map[Priority][]float64
+}
+
+// latencyWindow bounds the retained per-request latency samples (per
+// model and per priority class).
+const latencyWindow = 4096
+
+// Throughput returns served requests per simulated second.
+func (s Stats) Throughput() float64 {
+	if s.SimMakespan <= 0 {
+		return 0
+	}
+	return float64(s.Requests) / s.SimMakespan
+}
+
+// LatencyPercentile returns the p-th percentile (0..100) of request
+// latencies, in simulated seconds, by the nearest-rank method
+// (ceil(p/100*n)), so small sample windows do not understate the tail.
+func (s Stats) LatencyPercentile(p float64) float64 {
+	return percentile(s.Latencies, p)
+}
+
+// PriorityPercentile is LatencyPercentile restricted to one priority
+// class (0 when that class has served no requests).
+func (s Stats) PriorityPercentile(pri Priority, p float64) float64 {
+	return percentile(s.PriorityLatencies[pri], p)
+}
+
+// percentile implements the nearest-rank percentile over an unordered
+// sample window. p <= 0 returns the minimum, p >= 100 the maximum, and
+// an empty window 0.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// latWindow is a bounded ring of latency samples.
+type latWindow struct {
+	samples []float64
+	next    int // overwrite position once samples is full
+}
+
+func (w *latWindow) add(v float64) {
+	if len(w.samples) < latencyWindow {
+		w.samples = append(w.samples, v)
+		return
+	}
+	w.samples[w.next] = v
+	w.next = (w.next + 1) % latencyWindow
+}
+
+func (w *latWindow) snapshot() []float64 {
+	if len(w.samples) == 0 {
+		return nil
+	}
+	return append([]float64(nil), w.samples...)
+}

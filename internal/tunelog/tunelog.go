@@ -161,7 +161,8 @@ func (l *Log) Save(w io.Writer) error {
 	return enc.Encode(rows)
 }
 
-// Load merges a saved database into this one.
+// Load merges a saved database into this one (file entries win key
+// conflicts — use Merge to keep in-memory entries instead).
 func (l *Log) Load(r io.Reader) error {
 	var rows []jsonEntry
 	if err := json.NewDecoder(r).Decode(&rows); err != nil {
@@ -171,6 +172,26 @@ func (l *Log) Load(r io.Reader) error {
 	defer l.mu.Unlock()
 	for _, row := range rows {
 		l.entries[row.Key] = row.Entry
+	}
+	return nil
+}
+
+// Merge reads a saved database and adds only entries whose keys are
+// absent from this log: in-memory entries win conflicts. This is the
+// write-back direction — a server persisting its shared log merges in
+// what other processes wrote to the file without clobbering its own
+// fresher results.
+func (l *Log) Merge(r io.Reader) error {
+	var rows []jsonEntry
+	if err := json.NewDecoder(r).Decode(&rows); err != nil {
+		return fmt.Errorf("tunelog: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, row := range rows {
+		if _, ok := l.entries[row.Key]; !ok {
+			l.entries[row.Key] = row.Entry
+		}
 	}
 	return nil
 }

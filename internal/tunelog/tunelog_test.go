@@ -147,3 +147,42 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("concurrent accounting wrong: len %d hits %d misses %d", l.Len(), l.Hits, l.Misses)
 	}
 }
+
+func TestMergeMemoryWins(t *testing.T) {
+	k := GemmKey(128, 256, 512, tensor.FP16, "t4")
+	k2 := GemmKey(64, 64, 64, tensor.FP16, "t4")
+
+	// The "file": an external writer's database with k (older result)
+	// and k2 (a key we do not have).
+	ext := New()
+	ext.Record(k, Entry{TimeSeconds: 2e-6, Trials: 2})
+	ext.Record(k2, Entry{TimeSeconds: 3e-6, Trials: 3})
+	var buf bytes.Buffer
+	if err := ext.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fileBytes := buf.Bytes()
+
+	// Merge: our fresher entry for k must survive, k2 must be added.
+	l := New()
+	l.Record(k, Entry{TimeSeconds: 1e-6, Trials: 1})
+	if err := l.Merge(bytes.NewReader(fileBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := l.Lookup(k); !ok || e.Trials != 1 {
+		t.Errorf("Merge clobbered the in-memory entry: %+v", e)
+	}
+	if e, ok := l.Lookup(k2); !ok || e.Trials != 3 {
+		t.Errorf("Merge did not add the missing key: %+v", e)
+	}
+
+	// Load is the opposite direction: file entries win.
+	l2 := New()
+	l2.Record(k, Entry{TimeSeconds: 1e-6, Trials: 1})
+	if err := l2.Load(bytes.NewReader(fileBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := l2.Lookup(k); !ok || e.Trials != 2 {
+		t.Errorf("Load must prefer file entries: %+v", e)
+	}
+}

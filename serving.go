@@ -1,31 +1,247 @@
 package bolt
 
 import (
+	"os"
+	"sync"
 	"time"
 
 	"bolt/internal/relay"
 	"bolt/internal/rt"
 	"bolt/internal/serve"
+	"bolt/internal/tunelog"
 )
 
-// Serving-layer re-exports. Engine is the dynamic-batching serving
-// engine of internal/serve; NewEngine wires it to this package's
-// compilation pipeline.
+// Serving-layer re-exports. The multi-tenant scheduler lives in
+// internal/serve; NewServer wires it to this package's compilation
+// pipeline and tuning-log cache.
 type (
-	// Engine serves single-sample inference requests over dynamically
-	// batched, batch-bucketed variants of one model.
+	// Engine is the single-model serving view (the pre-multi-tenant
+	// surface, kept for compatibility; new code should use Server).
 	Engine = serve.Engine
-	// ServeStats is a snapshot of an engine's serving counters.
+	// ServeStats is a snapshot of serving counters, per model or
+	// aggregate, with per-priority latency windows.
 	ServeStats = serve.Stats
 	// ServeResult is one completed request (InferAsync).
 	ServeResult = serve.Result
+	// Priority classifies a request for the scheduler.
+	Priority = serve.Priority
+	// InferOptions carries a request's Priority and MaxWait.
+	InferOptions = serve.InferOptions
 )
 
-// ServeOptions configures NewEngine.
-type ServeOptions struct {
+// Request priorities. High preempts the batch window, bulk waits for
+// full buckets; neither can starve another model thanks to the
+// weighted round-robin across tenants.
+const (
+	PriorityNormal = serve.PriorityNormal
+	PriorityHigh   = serve.PriorityHigh
+	PriorityBulk   = serve.PriorityBulk
+)
+
+// Serving errors (test with errors.Is).
+var (
+	// ErrServeClosed is returned by Infer/Deploy after Close.
+	ErrServeClosed = serve.ErrClosed
+	// ErrNotDeployed is returned for model names the server does not
+	// (or no longer) serve(s).
+	ErrNotDeployed = serve.ErrNotDeployed
+)
+
+// ServerOptions configures the resources every model deployed on one
+// Server shares.
+type ServerOptions struct {
+	// Workers is the number of concurrent executors (simulated device
+	// streams) shared by all models. Values < 1 mean 1.
+	Workers int
+	// QueueDepth bounds the pending-request queue across all models;
+	// Infer blocks when it is full. Values < 1 mean 1024.
+	QueueDepth int
+	// BatchWindow is the default batch window for models that do not
+	// set their own: how long the batcher holds an underfull
+	// normal-priority batch hoping to fill the largest bucket (0 =
+	// dispatch greedily). High-priority requests preempt it; bulk
+	// requests wait several windows for a full bucket.
+	BatchWindow time.Duration
+	// CacheFile backs every model's variant compiles with one
+	// persistent tuning-log database: the server loads it once, shares
+	// the in-memory log across all tenants' compiles (buckets whose
+	// workloads were ever profiled before recompile measurement-free —
+	// the paper's §2.1 serving story), and persists it after each
+	// compile and on Close.
+	CacheFile string
+	// Jobs is both the profiling pool width within one variant compile
+	// and how many variant compiles (Warm or lazy) may run
+	// concurrently — a Jobs-wide Warm can briefly run Jobs^2 profiling
+	// goroutines. That is deliberate: profiling work is simulated
+	// (cheap host goroutines), each compile's TuningTime is its own
+	// pool's critical path regardless of what runs beside it, and
+	// kernel selection is deterministic for any pool width.
+	Jobs int
+}
+
+// DeployOptions configures one model's batching and scheduling share.
+type DeployOptions struct {
 	// Buckets are the allowed batch sizes (bucket 1 is implied). Nil
 	// means {1, 2, 4, 8}. Each bucket compiles lazily, on first use, as
 	// a batch variant of the source graph.
+	Buckets []int
+	// Weight is the model's weighted-round-robin share when several
+	// models contend for the workers. Values < 1 mean 1.
+	Weight int
+	// BatchWindow overrides ServerOptions.BatchWindow for this model.
+	BatchWindow time.Duration
+}
+
+// Server is the multi-tenant serving endpoint: several models share
+// one worker pool, one scheduler, and one tuning-log cache. Requests
+// carry (model, priority); the batcher keeps per-model/per-priority
+// queues and dispatches via weighted round-robin across tenants, with
+// high-priority requests preempting the batch window while bulk
+// requests wait for full buckets.
+type Server struct {
+	dev  *Device
+	opts ServerOptions
+	srv  *serve.Server
+	// cache is the shared tuning log, loaded once from CacheFile (nil
+	// without one). Concurrent variant compiles record into it under
+	// its own lock; saves are serialized by saveMu and write the whole
+	// log atomically, so no compile's entries are ever lost to a
+	// load→save race.
+	cache  *tunelog.Log
+	saveMu sync.Mutex
+	// persistErr is the outcome of the latest persistCache attempt
+	// (guarded by saveMu); Close surfaces it.
+	persistErr error
+}
+
+// NewServer starts an empty multi-tenant server. Models are added with
+// Deploy; Close drains in-flight work and persists the tuning log.
+func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
+	var cache *tunelog.Log
+	if opts.CacheFile != "" {
+		var err error
+		if cache, err = loadCache(opts.CacheFile); err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{dev: dev, opts: opts, cache: cache}
+	s.srv = serve.NewServer(serve.ServerOptions{
+		Workers:     opts.Workers,
+		QueueDepth:  opts.QueueDepth,
+		BatchWindow: opts.BatchWindow,
+		CompileJobs: opts.Jobs,
+		// Closing through any view — this Server or a compatibility
+		// Engine — flushes the shared tuning log.
+		OnClose: func() { _ = s.persistCache() },
+	})
+	return s, nil
+}
+
+// Deploy registers a model under a unique name. Each batch bucket's
+// module is compiled on demand from a relay.Rebatch clone of the
+// source graph through the regular pipeline (profiler + shared tunelog
+// cache). The source graph is never mutated and its weights are shared
+// across all variants.
+func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
+	compile := func(batch int) (*rt.Module, error) {
+		vg, err := relay.Rebatch(g, batch)
+		if err != nil {
+			return nil, err
+		}
+		res, err := compileTemplated(vg, s.dev, s.cache, s.opts.Jobs, false)
+		if err != nil {
+			return nil, err
+		}
+		// A transient persist failure must not fail the variant: the
+		// module is compiled and serviceable, the entries stay in the
+		// shared in-memory log, and the next persist (next compile or
+		// Close, which surfaces the latest error) retries the write.
+		_ = s.persistCache()
+		return res.Module, nil
+	}
+	return s.srv.Deploy(name, compile, serve.DeployOptions{
+		Buckets:     opts.Buckets,
+		Weight:      opts.Weight,
+		BatchWindow: opts.BatchWindow,
+	})
+}
+
+// Undeploy removes a model: new requests for it fail with
+// ErrNotDeployed, queued requests are answered with the same error,
+// and its served traffic stays counted in the aggregate Stats.
+func (s *Server) Undeploy(name string) error { return s.srv.Undeploy(name) }
+
+// Models lists the currently deployed model names, sorted.
+func (s *Server) Models() []string { return s.srv.Models() }
+
+// Infer runs one single-sample request (every input's leading dim must
+// be 1) against a deployed model and blocks until its batch completes.
+func (s *Server) Infer(model string, inputs map[string]*Tensor, opts InferOptions) (*Tensor, error) {
+	return s.srv.Infer(model, inputs, opts)
+}
+
+// InferAsync enqueues one single-sample request and returns the
+// channel its ServeResult will be delivered on.
+func (s *Server) InferAsync(model string, inputs map[string]*Tensor, opts InferOptions) (<-chan ServeResult, error) {
+	return s.srv.InferAsync(model, inputs, opts)
+}
+
+// Warm compiles a model's variants for the given buckets (all its
+// configured buckets when none are named) before traffic arrives. The
+// compiles run concurrently, Jobs wide; the returned error joins every
+// failed bucket's error, naming the bucket.
+func (s *Server) Warm(model string, buckets ...int) error {
+	return s.srv.Warm(model, buckets...)
+}
+
+// Stats aggregates every model's serving counters (with per-priority
+// latency windows; see ServeStats.PriorityPercentile).
+func (s *Server) Stats() ServeStats { return s.srv.Stats() }
+
+// ModelStats returns one deployed model's serving counters.
+func (s *Server) ModelStats(name string) (ServeStats, bool) { return s.srv.ModelStats(name) }
+
+// Close rejects new requests, flushes and answers every accepted
+// request, stops the workers, and persists the tuning log (via the
+// underlying server's close hook), returning the outcome of that
+// final persist. Safe to call more than once.
+func (s *Server) Close() error {
+	s.srv.Close()
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	return s.persistErr
+}
+
+// persistCache writes the shared tuning log back to CacheFile (a
+// no-op without one). Saves are serialized and atomic (temp file +
+// rename), and every save first merges entries another process wrote
+// to the file since our load, then writes the whole shared log — so
+// within this server no compile's entries are ever lost (the failure
+// mode of the old per-compile load→save cycle), and concurrent
+// external writers (boltc, another server) lose at most entries
+// written inside the merge→rename race window.
+func (s *Server) persistCache() error {
+	if s.cache == nil || s.opts.CacheFile == "" {
+		return nil
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if f, err := os.Open(s.opts.CacheFile); err == nil {
+		// Best-effort, memory-wins merge of external writers' entries
+		// (our fresher results keep their keys); a corrupt or
+		// unreadable file is simply overwritten by our good data.
+		_ = s.cache.Merge(f)
+		f.Close()
+	}
+	s.persistErr = saveCache(s.cache, s.opts.CacheFile)
+	return s.persistErr
+}
+
+// ServeOptions configures NewEngine (the single-model compatibility
+// surface; new code should use NewServer + ServerOptions).
+type ServeOptions struct {
+	// Buckets are the allowed batch sizes (bucket 1 is implied). Nil
+	// means {1, 2, 4, 8}.
 	Buckets []int
 	// Workers is the number of concurrent executors (simulated device
 	// streams). Values < 1 mean 1.
@@ -37,36 +253,32 @@ type ServeOptions struct {
 	// hoping to fill the largest bucket (0 = dispatch greedily).
 	BatchWindow time.Duration
 	// CacheFile backs every variant compile with a persistent
-	// tuning-log database: buckets whose workloads were ever profiled
-	// before — by an earlier engine, another variant, or boltc —
-	// recompile measurement-free (the paper's §2.1 serving story).
+	// tuning-log database (loaded once, shared, persisted after each
+	// compile).
 	CacheFile string
 	// Jobs is the profiling pool width for variant compiles.
 	Jobs int
 }
 
-// NewEngine starts a serving engine for the graph: requests to Infer
-// are coalesced by a dynamic batcher into batch-bucketed runs, and
-// each bucket's module is compiled on demand from a relay.Rebatch
-// clone of the source graph through the regular pipeline (profiler +
-// tunelog cache). The source graph is never mutated and its weights
-// are shared across all variants.
+// NewEngine starts a single-model serving engine: a thin wrapper over
+// a one-model Server. Requests to Infer are coalesced by the dynamic
+// batcher at normal priority, exactly as before the multi-tenant
+// redesign; migrate to NewServer/Deploy/Infer for multiple models,
+// request priorities, and fair scheduling.
 func NewEngine(g *Graph, dev *Device, opts ServeOptions) (*Engine, error) {
-	compile := func(batch int) (*rt.Module, error) {
-		vg, err := relay.Rebatch(g, batch)
-		if err != nil {
-			return nil, err
-		}
-		res, err := Compile(vg, dev, Options{CacheFile: opts.CacheFile, Jobs: opts.Jobs})
-		if err != nil {
-			return nil, err
-		}
-		return res.Module, nil
-	}
-	return serve.New(compile, serve.Options{
-		Buckets:     opts.Buckets,
+	srv, err := NewServer(dev, ServerOptions{
 		Workers:     opts.Workers,
 		QueueDepth:  opts.QueueDepth,
 		BatchWindow: opts.BatchWindow,
+		CacheFile:   opts.CacheFile,
+		Jobs:        opts.Jobs,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Deploy(serve.EngineModel, g, DeployOptions{Buckets: opts.Buckets}); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return srv.srv.EngineFor(serve.EngineModel)
 }
