@@ -1,0 +1,101 @@
+// Heterogeneous serving: one bolt.Server whose workers model different
+// GPUs (a Tesla T4 and an A100). Every deployed model compiles
+// per-device batch variants through one shared tuning log, and the
+// scheduler dispatches each batch to the worker with the smallest
+// modeled finish time — so the A100 absorbs most of the work while the
+// T4 stays busy, and per-device stats show the split.
+//
+//	go run ./examples/heteroserving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"bolt"
+)
+
+func buildCNN() *bolt.Graph {
+	b := bolt.NewBuilder()
+	x := b.Input("image", bolt.FP16, 1, 8, 32, 32)
+	c := b.Conv2D(x, b.Weight("w1", 16, 3, 3, 8), 1, 1)
+	c = b.BiasAdd(c, b.Weight("b1", 16))
+	c = b.Activation(c, bolt.ReLU)
+	c = b.MaxPool(c, 2, 2, 0)
+	c = b.Conv2D(c, b.Weight("w2", 32, 3, 3, 16), 2, 1)
+	c = b.BiasAdd(c, b.Weight("b2", 32))
+	c = b.Activation(c, bolt.ReLU)
+	g := b.GlobalAvgPool(c)
+	d := b.Dense(g, b.Weight("fc", 32, 10))
+	return b.Build(b.Softmax(d))
+}
+
+func main() {
+	// A mixed pool: Devices replaces Workers (setting both is an
+	// error). Each entry becomes one worker modeling that device.
+	srv, err := bolt.NewServer(bolt.T4(), bolt.ServerOptions{
+		Devices:     []*bolt.Device{bolt.T4(), bolt.A100()},
+		BatchWindow: 5 * time.Millisecond,
+		Jobs:        2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := srv.Deploy("cnn", buildCNN(), bolt.DeployOptions{
+		Buckets: []int{1, 2, 4, 8},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Warm compiles every (device, bucket) variant up front: 4 buckets
+	// x 2 device classes, all through one shared tuning log whose keys
+	// are device-scoped.
+	if err := srv.Warm("cnn"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Offered load: 64 requests arriving as a seeded Poisson process on
+	// the simulated clock, so latencies reflect queueing rather than a
+	// flood at t=0.
+	const requests = 64
+	rng := rand.New(rand.NewSource(1))
+	arrival := 0.0
+	chans := make([]<-chan bolt.ServeResult, requests)
+	for i := range chans {
+		in := bolt.NewTensor(bolt.FP16, 1, 8, 32, 32)
+		in.FillRandom(int64(i+1), 1)
+		arrival += rng.ExpFloat64() * 3e-6 // mean 3us between arrivals
+		ch, err := srv.InferAsync("cnn", map[string]*bolt.Tensor{"image": in}, bolt.InferOptions{
+			Priority:   bolt.PriorityBulk, // wait for full buckets
+			SimArrival: arrival,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	served := map[string]int{}
+	for _, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		served[res.Device]++
+	}
+
+	st := srv.Stats()
+	fmt.Println("=== heterogeneous serving: 1x T4 + 1x A100 ===")
+	fmt.Printf("requests: %d   batches: %d   makespan: %.1f us   p99 latency: %.1f us\n",
+		st.Requests, st.Batches, st.SimMakespan*1e6, st.LatencyPercentile(99)*1e6)
+	for _, d := range st.Devices {
+		fmt.Printf("worker %d (%-14s): %3d requests, %2d batches, busy %6.1f us, share %4.1f%%, makespan %6.1f us\n",
+			d.Worker, d.Device, served[d.Device], d.Batches, d.BusySeconds*1e6,
+			d.UtilizationShare*100, d.SimMakespan*1e6)
+	}
+	fmt.Println("\nthe A100's share tracks its modeled speed advantage on this " +
+		"workload: earliest-finish-time dispatch keeps both devices busy " +
+		"instead of splitting batches evenly.")
+}

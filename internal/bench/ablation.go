@@ -20,7 +20,7 @@ import (
 
 // AblationIDs lists the extension experiments.
 func AblationIDs() []string {
-	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving", "multimodel"}
+	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving", "multimodel", "hetero"}
 }
 
 // AblationByID returns the regenerator for an ablation id.
@@ -37,6 +37,7 @@ func (s *Suite) AblationByID(id string) func() *Table {
 		"ext-cache":     s.ExtensionCompileCache,
 		"serving":       s.Serving,
 		"multimodel":    s.MultiModel,
+		"hetero":        s.Hetero,
 	}
 	return m[id]
 }

@@ -1,0 +1,22 @@
+package bench
+
+import "math/rand"
+
+// poissonArrivals returns the first n arrival times (simulated
+// seconds) of a Poisson process with the given mean interarrival time:
+// seeded exponential gaps, cumulatively summed. The serving benchmarks
+// stamp these onto requests (InferOptions.SimArrival) so a worker
+// cannot start a batch before its members arrived and each request's
+// latency is completion minus arrival — percentiles then reflect
+// steady-state queueing under offered load rather than a flood at
+// simulated t=0. Deterministic for a fixed seed.
+func poissonArrivals(n int, meanInterarrival float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() * meanInterarrival
+		out[i] = t
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bolt/internal/gpu"
+)
+
+// TestHeteroDeterministicAndWins is the PR-5 acceptance check for the
+// experiment itself: identical suites produce bit-identical artifacts
+// (the whole pipeline — Poisson stream, per-device compiles, EFT
+// dispatch — is deterministic), the mixed pool beats 2x T4 on modeled
+// makespan, the A100 absorbs at least its fair share of the mixed
+// pool's batches, and per-device rows sum exactly to each pool's
+// aggregate.
+func TestHeteroDeterministicAndWins(t *testing.T) {
+	run := func() heteroArtifact {
+		s := NewQuickSuite(gpu.T4())
+		s.HeteroRequests = 24 // 3 full buckets: affordable under `go test`
+		return s.runHetero()
+	}
+	art := run()
+	if again := run(); !reflect.DeepEqual(art, again) {
+		t.Fatalf("hetero experiment is not deterministic:\nfirst:  %+v\nsecond: %+v", art, again)
+	}
+
+	if art.HeteroSpeedup <= 1.0 {
+		t.Errorf("1x T4 + 1x A100 makespan %.1f us did not beat 2x T4's %.1f us (speedup %.2fx)",
+			art.MakespanHeteroUs, art.Makespan2T4Us, art.HeteroSpeedup)
+	}
+	if art.WorkShareRatio < 1 {
+		t.Errorf("A100 ran %.2fx the T4's batches in the mixed pool, want >= 1 (EFT must favor the fast device)",
+			art.WorkShareRatio)
+	}
+	if art.ModeledSpeedRatio <= 1 || art.ModeledSpeedRatio > art.PeakTFLOPSRatio {
+		t.Errorf("modeled speed ratio %.2f outside (1, peak %.1f]", art.ModeledSpeedRatio, art.PeakTFLOPSRatio)
+	}
+	for _, row := range art.Rows {
+		if row.Requests != int64(art.Requests) {
+			t.Errorf("%s served %d requests, want %d", row.Pool, row.Requests, art.Requests)
+		}
+		var batches int64
+		share := 0.0
+		for _, d := range row.Devices {
+			batches += d.Batches
+			share += d.UtilizationShare
+		}
+		if batches != row.Batches {
+			t.Errorf("%s per-device batches sum to %d, aggregate %d", row.Pool, batches, row.Batches)
+		}
+		if math.Abs(share-1) > 1e-9 {
+			t.Errorf("%s utilization shares sum to %g, want 1", row.Pool, share)
+		}
+	}
+}

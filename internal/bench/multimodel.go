@@ -16,7 +16,9 @@ import (
 
 // The multimodel experiment exercises the PR-4 multi-tenant server:
 // two models (the serving CNN and an MLP) deployed on one shared
-// worker pool, flooded with a mixed-priority request stream. It
+// worker pool, driven by a mixed-priority seeded Poisson request
+// stream on the simulated clock (so the latency tails reflect
+// queueing under contention, not a flood at t=0). It
 // validates the two scheduling promises deterministically on the
 // simulated clocks — weighted round-robin keeps every tenant's
 // throughput alive (no starvation), and high-priority requests, which
@@ -109,24 +111,35 @@ func (s *Suite) runMultiModel() multiModelArtifact {
 			panic(err)
 		}
 	}
-	// Warm every variant up front so the flood measures scheduling, not
-	// compilation interleaving.
+	// Warm every variant up front so the stream measures scheduling,
+	// not compilation interleaving.
 	for _, tn := range tenants {
 		if err := srv.Warm(tn.name); err != nil {
 			panic(err)
 		}
 	}
 
-	// Equal offered load: the tenants' requests interleave one-for-one,
-	// every fourth request latency-sensitive, the rest bulk.
+	// Offered load: the tenants' requests interleave one-for-one on a
+	// seeded Poisson arrival stream at ~4x one worker's CNN bucket-8
+	// service rate (the pool stays backlogged, so WRR fairness is
+	// exercised under contention), every fourth request
+	// latency-sensitive, the rest bulk.
+	mod8, err := s.tenantCompiler(servingModel(), log)(8)
+	if err != nil {
+		panic(err)
+	}
+	arrivals := poissonArrivals(len(tenants)*requests, 0.25*mod8.Time()/8, 11)
 	var chans []<-chan serve.Result
 	for i := 0; i < requests; i++ {
 		pri := serve.PriorityBulk
 		if i%4 == 0 {
 			pri = serve.PriorityHigh
 		}
-		for _, tn := range tenants {
-			ch, err := srv.InferAsync(tn.name, tn.input(int64(i+1)), serve.InferOptions{Priority: pri})
+		for k, tn := range tenants {
+			ch, err := srv.InferAsync(tn.name, tn.input(int64(i+1)), serve.InferOptions{
+				Priority:   pri,
+				SimArrival: arrivals[i*len(tenants)+k],
+			})
 			if err != nil {
 				panic(err)
 			}

@@ -32,6 +32,12 @@ type Suite struct {
 	// MultiModelArtifact, when set, is where the multimodel experiment
 	// writes its JSON artifact (boltbench points it at BENCH_pr4.json).
 	MultiModelArtifact string
+	// HeteroRequests is the Poisson-stream size for the heterogeneous
+	// device-pool experiment (rounded down to full bucket-8 batches).
+	HeteroRequests int
+	// HeteroArtifact, when set, is where the hetero experiment writes
+	// its JSON artifact (boltbench points it at BENCH_pr5.json).
+	HeteroArtifact string
 
 	seed     int64
 	e2eCache []e2eResult
@@ -42,7 +48,7 @@ func NewSuite(dev *gpu.Device) *Suite {
 	return &Suite{
 		Dev: dev, Lib: cublaslike.New(dev),
 		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32,
-		ServingRequests: 96, MultiModelRequests: 64, seed: 1,
+		ServingRequests: 96, MultiModelRequests: 64, HeteroRequests: 128, seed: 1,
 	}
 }
 
@@ -55,13 +61,21 @@ func NewQuickSuite(dev *gpu.Device) *Suite {
 	s.E2ETrialsPerTask = 96
 	s.ServingRequests = 48
 	s.MultiModelRequests = 32
+	s.HeteroRequests = 48
 	return s
 }
 
 // newProfiler builds a Bolt profiler with an attached tuning clock.
 func (s *Suite) newProfiler() (*profiler.Profiler, *gpu.Clock) {
+	return newProfilerOn(s.Dev)
+}
+
+// newProfilerOn is newProfiler for an explicit device (the
+// heterogeneous experiments profile per device class). Noise-free, so
+// every suite experiment is deterministic.
+func newProfilerOn(dev *gpu.Device) (*profiler.Profiler, *gpu.Clock) {
 	var clock gpu.Clock
-	p := profiler.New(s.Dev, &clock)
+	p := profiler.New(dev, &clock)
 	p.Measure.NoiseStdDev = 0
 	return p, &clock
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"bolt/internal/gpu"
 	"bolt/internal/rt"
 	"bolt/internal/tensor"
 )
@@ -39,6 +40,12 @@ import (
 // bolt package wires this to the tuning pipeline with a shared
 // tuning-log cache).
 type CompileVariant func(batch int) (*rt.Module, error)
+
+// CompileVariantOn is the heterogeneous-pool form of CompileVariant:
+// the server passes the target device class's device (nil for the
+// anonymous homogeneous class), so each class executes variants tuned
+// for its own silicon. Used with Server.DeployOn.
+type CompileVariantOn func(dev *gpu.Device, batch int) (*rt.Module, error)
 
 // ErrClosed is returned by Infer after Close.
 var ErrClosed = errors.New("serve: engine closed")
@@ -86,9 +93,17 @@ type Result struct {
 	Batch int
 	// Worker is the executor (simulated device stream) that ran it.
 	Worker int
-	// SimLatency is the worker's simulated clock when the batch
-	// finished. Under the benchmark's flood model (every request
-	// arrives at simulated time zero) this is the request's latency.
+	// Device names the worker's device on a heterogeneous pool ("" for
+	// the homogeneous legacy streams) — which silicon served this
+	// request.
+	Device string
+	// SimArrival echoes the request's InferOptions.SimArrival.
+	SimArrival float64
+	// SimLatency is the request's simulated latency: the worker's clock
+	// when the batch finished minus the request's simulated arrival.
+	// Under the flood model (every request arrives at simulated time
+	// zero) this is simply the completion time, matching the
+	// pre-arrival-process semantics.
 	SimLatency float64
 }
 
@@ -147,6 +162,13 @@ func (e *Engine) Infer(inputs map[string]*tensor.Tensor) (*tensor.Tensor, error)
 // channel its Result will be delivered on.
 func (e *Engine) InferAsync(inputs map[string]*tensor.Tensor) (<-chan Result, error) {
 	return e.srv.InferAsync(e.model, inputs, InferOptions{})
+}
+
+// InferAsyncOpts is InferAsync with explicit InferOptions (e.g. a
+// simulated arrival time, so single-model benchmarks can drive the
+// engine with a seeded arrival process).
+func (e *Engine) InferAsyncOpts(inputs map[string]*tensor.Tensor, opts InferOptions) (<-chan Result, error) {
+	return e.srv.InferAsync(e.model, inputs, opts)
 }
 
 // Warm compiles the variants for the given buckets (all configured

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"math"
+
+	"bolt/internal/gpu"
+)
+
+// This file is the heterogeneous device pool: the scheduler's view of
+// the worker topology when a server's workers model different GPUs
+// (ServerOptions.Devices). Workers that model the same device are
+// grouped into one device class — they share compiled variants and
+// modeled batch costs, since the tuning-log keys are device-scoped and
+// a variant compiled for one T4 stream is exactly the variant every
+// other T4 stream would compile. Dispatch is cost-aware earliest
+// finish time (EFT): each ready batch is priced on every device class
+// via the compiled variant's modeled batch cost, and goes to the
+// worker whose modeled finish time (clock + cost) is smallest. Big
+// buckets therefore gravitate to the fast device while small batches
+// keep the slower streams busy, and the whole placement sequence is
+// deterministic — the pool's finish-time model is owned by the
+// scheduler goroutine and advanced at dispatch, never read from the
+// racy execution clocks.
+
+// WorkerSpec describes one worker of the pool: the device it models.
+// A nil Device is the legacy homogeneous stream (ServerOptions.Workers
+// without Devices): all such workers form one anonymous class and
+// variants compile exactly as before the pool existed.
+type WorkerSpec struct {
+	Device *gpu.Device
+}
+
+// DeviceName names the worker's device ("" for an anonymous
+// homogeneous stream).
+func (w WorkerSpec) DeviceName() string {
+	if w.Device == nil {
+		return ""
+	}
+	return w.Device.Name
+}
+
+// deviceClass is one group of same-device workers. Variants and batch
+// costs are cached per class, not per worker.
+type deviceClass struct {
+	id   int
+	dev  *gpu.Device // nil for the anonymous homogeneous class
+	name string
+}
+
+// pool is the worker topology plus the scheduler's modeled finish time
+// per worker. sched is written only by the scheduler goroutine (at
+// dispatch), so EFT placement needs no locking and cannot race with
+// the workers' execution clocks: sched[w] leads clocks[w] by exactly
+// the batches dispatched-but-not-finished, and the two converge to the
+// same value because both advance by the same job costs in the same
+// per-worker FIFO order.
+type pool struct {
+	specs   []WorkerSpec
+	classes []deviceClass
+	classOf []int     // worker index -> class id
+	sched   []float64 // modeled finish time per worker (scheduler-owned)
+}
+
+// newPool groups workers into device classes in first-appearance
+// order. devices may be shorter than workers (or empty): workers
+// beyond it model no device and join the anonymous class.
+func newPool(workers int, devices []*gpu.Device) *pool {
+	p := &pool{
+		specs:   make([]WorkerSpec, workers),
+		classOf: make([]int, workers),
+		sched:   make([]float64, workers),
+	}
+	byName := make(map[string]int)
+	for w := range p.specs {
+		var dev *gpu.Device
+		if w < len(devices) {
+			dev = devices[w]
+		}
+		p.specs[w].Device = dev
+		name := p.specs[w].DeviceName()
+		id, ok := byName[name]
+		if !ok {
+			id = len(p.classes)
+			byName[name] = id
+			p.classes = append(p.classes, deviceClass{id: id, dev: dev, name: name})
+		}
+		p.classOf[w] = id
+	}
+	return p
+}
+
+// placement is one EFT decision.
+type placement struct {
+	worker int
+	class  int
+	finish float64 // modeled completion time of the batch on that worker
+}
+
+// place picks the earliest-finish-time worker for a batch that arrived
+// at the given simulated time: finish(w) = max(sched[w], arrival) +
+// costs[classOf[w]]. Ties prefer a class whose variant is already
+// compiled (live[class]) — no point paying a compile on an equally
+// fast device — and then the lowest worker index, so the sequence is
+// deterministic. A class priced at +Inf (its variant failed to
+// compile) is only chosen when every class is infinite, in which case
+// worker 0 takes the batch and surfaces the compile error.
+func (p *pool) place(costs []float64, live []bool, arrival float64) placement {
+	best := placement{worker: -1, finish: math.Inf(1)}
+	for w := range p.specs {
+		c := p.classOf[w]
+		start := p.sched[w]
+		if arrival > start {
+			start = arrival
+		}
+		finish := start + costs[c]
+		switch {
+		case best.worker < 0 || finish < best.finish:
+			best = placement{worker: w, class: c, finish: finish}
+		case finish == best.finish && live[c] && !live[best.class]:
+			best = placement{worker: w, class: c, finish: finish}
+		}
+	}
+	return best
+}
+
+// commit advances the scheduler's finish-time model for a placed
+// batch. Skipped for unpriceable (failed-compile) batches, whose
+// execution advances no clock either.
+func (p *pool) commit(pl placement) {
+	if !math.IsInf(pl.finish, 1) {
+		p.sched[pl.worker] = pl.finish
+	}
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
+	"bolt/internal/gpu"
 	"bolt/internal/rt"
 	"bolt/internal/tensor"
 )
@@ -24,8 +26,18 @@ const bulkWindowFactor = 4
 // the worker pool, the request queue, and the variant-compile pool.
 type ServerOptions struct {
 	// Workers is the number of concurrent executors — the simulated
-	// device streams, shared by all models. Values < 1 mean 1.
+	// device streams, shared by all models. Values < 1 mean 1. When
+	// Devices is set, Workers is derived from it and this field is
+	// ignored (the bolt wrapper rejects setting both).
 	Workers int
+	// Devices, when non-empty, makes the worker pool heterogeneous: one
+	// worker per entry, each modeling that device. Workers that model
+	// the same device form one device class and share compiled variants
+	// (the tuning-log keys are device-scoped, so different classes'
+	// entries coexist in one cache). Dispatch becomes cost-aware
+	// earliest-finish-time across the pool instead of round-robin. A
+	// nil Devices keeps the homogeneous pre-pool behavior.
+	Devices []*gpu.Device
 	// QueueDepth is the pending-request capacity across all models:
 	// the scheduler stops absorbing arrivals once the queued backlog
 	// reaches it, so producers fill the same-sized channel behind it
@@ -48,6 +60,9 @@ type ServerOptions struct {
 }
 
 func (o ServerOptions) normalized() ServerOptions {
+	if len(o.Devices) > 0 {
+		o.Workers = len(o.Devices)
+	}
 	if o.Workers < 1 {
 		o.Workers = 1
 	}
@@ -72,6 +87,20 @@ type DeployOptions struct {
 	Weight int
 	// BatchWindow overrides ServerOptions.BatchWindow for this model.
 	BatchWindow time.Duration
+	// MaxVariantBytes bounds the modeled memory (parameters + planned
+	// activation arena, per rt.Module.Memory) of this model's compiled
+	// variants held per device class. When the budget is exceeded the
+	// least-recently-used variants are evicted (Stats.Evictions counts
+	// them) and recompile on next use — cheap, since their workloads
+	// stay in the shared tuning log and their modeled batch costs stay
+	// memoized for dispatch pricing. Zero means unbounded. The budget
+	// is per device class because variants multiply by class on a
+	// heterogeneous pool. Note that on a multi-class pool the first
+	// dispatch of a bucket compiles it on every class to price it, so a
+	// budget smaller than a class's working set churns through
+	// compile-evict cycles (each cheap — the tuning log makes
+	// recompiles measurement-free — but counted in Stats.Evictions).
+	MaxVariantBytes int64
 }
 
 // InferOptions classifies one request for the scheduler.
@@ -86,36 +115,61 @@ type InferOptions struct {
 	// and ignores MaxWait — holding a latency-sensitive request would
 	// defeat the class.
 	MaxWait time.Duration
+	// SimArrival is the request's arrival time on the simulated clock,
+	// in seconds (negative values mean 0). A worker cannot start a
+	// batch before its latest member arrived, and each request's
+	// SimLatency is its completion minus its arrival, so a seeded
+	// arrival process (e.g. Poisson) yields steady-state queueing
+	// percentiles instead of flood-at-t=0 ones. The zero default keeps
+	// the flood semantics.
+	SimArrival float64
 }
 
 // request is one queued inference request.
 type request struct {
-	t        *tenant
-	inputs   map[string]*tensor.Tensor
-	resp     chan Result
-	priority Priority
-	deadline time.Time // when the batcher stops holding it
+	t          *tenant
+	inputs     map[string]*tensor.Tensor
+	resp       chan Result
+	priority   Priority
+	deadline   time.Time // when the batcher stops holding it
+	simArrival float64   // arrival time on the simulated clock
 }
 
 // batchJob is one dispatched batch: requests of a single tenant, in
-// priority-then-FIFO order.
+// priority-then-FIFO order, plus the scheduler's EFT placement.
 type batchJob struct {
-	t    *tenant
-	reqs []*request
+	t       *tenant
+	reqs    []*request
+	worker  int     // chosen executor
+	class   int     // its device class
+	cost    float64 // modeled batch cost on that class (0 if unpriceable)
+	priced  bool    // pricing succeeded and the cost was committed to sched
+	arrival float64 // latest member's simulated arrival
 }
 
-// variant is one lazily compiled batch-bucketed module.
+// vkey identifies one compiled variant: a batch bucket on a device
+// class.
+type vkey struct {
+	class  int
+	bucket int
+}
+
+// variant is one lazily compiled batch-bucketed, device-targeted
+// module.
 type variant struct {
-	once sync.Once
-	mod  *rt.Module
-	time float64 // modeled seconds per batch run
-	err  error
+	once    sync.Once
+	mod     *rt.Module
+	time    float64 // modeled seconds per batch run
+	bytes   int64   // modeled bytes (params + planned arena), for eviction
+	lastUse int64   // LRU tick of the last execution/compile
+	err     error
 }
 
 // tenantStats are one model's serving counters (guarded by Server.mu).
 type tenantStats struct {
 	requests    int64
 	batches     int64
+	evictions   int64
 	batchSizes  map[int]int64
 	simMakespan float64
 	lat         latWindow
@@ -127,6 +181,7 @@ type tenantStats struct {
 func (ts *tenantStats) merge(o *tenantStats) {
 	ts.requests += o.requests
 	ts.batches += o.batches
+	ts.evictions += o.evictions
 	for k, v := range o.batchSizes {
 		ts.batchSizes[k] += v
 	}
@@ -141,21 +196,31 @@ func (ts *tenantStats) merge(o *tenantStats) {
 }
 
 // tenant is one deployed model: its compiler, buckets, batching
-// policy, per-priority queues, variant cache, and counters.
+// policy, per-priority queues, per-device variant cache, and counters.
 type tenant struct {
-	name    string
-	order   int // deploy order (WRR tie-break, deterministic iteration)
-	compile CompileVariant
-	buckets []int // sorted ascending, 1 always present
-	window  time.Duration
-	weight  int
+	name            string
+	order           int // deploy order (WRR tie-break, deterministic iteration)
+	compile         CompileVariantOn
+	buckets         []int // sorted ascending, 1 always present
+	window          time.Duration
+	weight          int
+	maxVariantBytes int64 // per-class LRU budget (0 = unbounded)
 
 	wrr      int // smooth weighted-round-robin current weight
 	queues   [numPriorities][]*request
 	pending  int
 	removed  bool
-	variants map[int]*variant
-	stats    tenantStats
+	variants map[vkey]*variant
+	// costs memoizes each (class, bucket)'s modeled batch cost past the
+	// variant's lifetime, so EFT pricing of an evicted variant does not
+	// recompile it — only the winning class's execution does.
+	costs map[vkey]float64
+	// pricing marks buckets whose first-use pricing compiles are in
+	// flight on background goroutines; the scheduler skips the tenant's
+	// batches for such a bucket instead of blocking dispatch on the
+	// compile.
+	pricing map[int]bool
+	stats   tenantStats
 }
 
 // maxBucket returns the tenant's largest configured bucket.
@@ -179,16 +244,24 @@ type Server struct {
 	compileSem chan struct{} // bounds concurrent variant compiles
 	closeHook  sync.Once     // runs ServerOptions.OnClose exactly once
 
-	mu           sync.Mutex
-	closed       bool
-	flushing     bool // Close started: dispatch greedily, ignore windows
-	nextOrder    int
-	pendingTotal int                // queued (absorbed, undispatched) requests across tenants
-	tenants      map[string]*tenant // live models by name
-	order        []*tenant          // live models in deploy order (scheduler scan + WRR ties)
-	retired      tenantStats        // merged counters of undeployed models (traffic stays counted)
-	workerCh     []chan batchJob
-	clocks       []float64 // per-worker simulated seconds
+	// pool is the worker topology (device classes) plus the scheduler's
+	// modeled finish times; its sched slice is touched only by the
+	// scheduler goroutine.
+	pool *pool
+
+	mu            sync.Mutex
+	closed        bool
+	flushing      bool // Close started: dispatch greedily, ignore windows
+	nextOrder     int
+	lruTick       int64              // variant use counter (LRU eviction order)
+	pendingTotal  int                // queued (absorbed, undispatched) requests across tenants
+	tenants       map[string]*tenant // live models by name
+	order         []*tenant          // live models in deploy order (scheduler scan + WRR ties)
+	retired       tenantStats        // merged counters of undeployed models (traffic stays counted)
+	workerCh      []chan batchJob
+	clocks        []float64 // per-worker simulated seconds
+	workerBusy    []float64 // per-worker simulated seconds spent executing
+	workerBatches []int64   // per-worker dispatched batches
 }
 
 // NewServer starts a multi-tenant server: one scheduler plus
@@ -197,15 +270,18 @@ type Server struct {
 func NewServer(opts ServerOptions) *Server {
 	opts = opts.normalized()
 	s := &Server{
-		opts:       opts,
-		incoming:   make(chan *request, opts.QueueDepth),
-		kick:       make(chan struct{}, 1),
-		done:       make(chan struct{}),
-		compileSem: make(chan struct{}, opts.CompileJobs),
-		tenants:    make(map[string]*tenant),
-		retired:    tenantStats{batchSizes: make(map[int]int64)},
-		workerCh:   make([]chan batchJob, opts.Workers),
-		clocks:     make([]float64, opts.Workers),
+		opts:          opts,
+		pool:          newPool(opts.Workers, opts.Devices),
+		incoming:      make(chan *request, opts.QueueDepth),
+		kick:          make(chan struct{}, 1),
+		done:          make(chan struct{}),
+		compileSem:    make(chan struct{}, opts.CompileJobs),
+		tenants:       make(map[string]*tenant),
+		retired:       tenantStats{batchSizes: make(map[int]int64)},
+		workerCh:      make([]chan batchJob, opts.Workers),
+		clocks:        make([]float64, opts.Workers),
+		workerBusy:    make([]float64, opts.Workers),
+		workerBatches: make([]int64, opts.Workers),
 	}
 	for i := range s.workerCh {
 		s.workerCh[i] = make(chan batchJob, 4)
@@ -218,8 +294,25 @@ func NewServer(opts ServerOptions) *Server {
 
 // Deploy registers a model under a unique name. Its batch variants
 // compile lazily on first use (or eagerly via Warm) through the
-// server's shared compile pool.
+// server's shared compile pool. The device-agnostic compile function
+// targets whatever device the bolt wrapper bound it to; on a
+// heterogeneous pool, use DeployOn so every device class gets its own
+// variants.
 func (s *Server) Deploy(name string, compile CompileVariant, opts DeployOptions) error {
+	if compile == nil {
+		return errors.New("serve: nil compile function")
+	}
+	return s.DeployOn(name, func(_ *gpu.Device, batch int) (*rt.Module, error) {
+		return compile(batch)
+	}, opts)
+}
+
+// DeployOn registers a model whose variants compile per device class:
+// the pool passes each class's device (nil for the anonymous
+// homogeneous class) into compile, so a T4 worker and an A100 worker
+// each execute a module tuned for their own silicon while sharing one
+// tuning log (its keys are device-scoped).
+func (s *Server) DeployOn(name string, compile CompileVariantOn, opts DeployOptions) error {
 	if compile == nil {
 		return errors.New("serve: nil compile function")
 	}
@@ -240,14 +333,16 @@ func (s *Server) Deploy(name string, compile CompileVariant, opts DeployOptions)
 		return fmt.Errorf("serve: model %q already deployed", name)
 	}
 	t := &tenant{
-		name:     name,
-		order:    s.nextOrder,
-		compile:  compile,
-		buckets:  normalizeBuckets(opts.Buckets),
-		window:   window,
-		weight:   weight,
-		variants: make(map[int]*variant),
-		stats:    tenantStats{batchSizes: make(map[int]int64)},
+		name:            name,
+		order:           s.nextOrder,
+		compile:         compile,
+		buckets:         normalizeBuckets(opts.Buckets),
+		window:          window,
+		weight:          weight,
+		maxVariantBytes: opts.MaxVariantBytes,
+		variants:        make(map[vkey]*variant),
+		costs:           make(map[vkey]float64),
+		stats:           tenantStats{batchSizes: make(map[int]int64)},
 	}
 	s.nextOrder++
 	s.tenants[name] = t
@@ -352,26 +447,32 @@ func (s *Server) InferAsync(model string, inputs map[string]*tensor.Tensor, opts
 		}
 	}
 	s.mu.Unlock()
+	arrival := opts.SimArrival
+	if arrival < 0 {
+		arrival = 0
+	}
 	r := &request{
-		t:        t,
-		inputs:   inputs,
-		resp:     make(chan Result, 1),
-		priority: opts.Priority,
-		deadline: time.Now().Add(wait),
+		t:          t,
+		inputs:     inputs,
+		resp:       make(chan Result, 1),
+		priority:   opts.Priority,
+		deadline:   time.Now().Add(wait),
+		simArrival: arrival,
 	}
 	s.incoming <- r
 	return r.resp, nil
 }
 
 // Warm compiles a model's variants for the given buckets (all its
-// configured buckets when none are named) before traffic arrives. The
-// compiles run concurrently through the server's compile pool
-// (ServerOptions.CompileJobs wide); the returned error joins every
-// failed bucket's error, naming the bucket. Warm fails on a closed
-// server, and buckets not yet started when the model is concurrently
-// Undeployed (or the server Closed) fail with ErrNotDeployed/ErrClosed
-// instead of compiling for a dead tenant — compiles already running
-// finish, but are dropped with the tenant.
+// configured buckets when none are named) — on every device class of
+// the pool — before traffic arrives. The compiles run concurrently
+// through the server's compile pool (ServerOptions.CompileJobs wide);
+// the returned error joins every failed compile's error, naming the
+// bucket (and the device on a heterogeneous pool). Warm fails on a
+// closed server, and compiles not yet started when the model is
+// concurrently Undeployed (or the server Closed) fail with
+// ErrNotDeployed/ErrClosed instead of compiling for a dead tenant —
+// compiles already running finish, but are dropped with the tenant.
 func (s *Server) Warm(model string, buckets ...int) error {
 	s.mu.Lock()
 	if s.closed {
@@ -387,29 +488,36 @@ func (s *Server) Warm(model string, buckets ...int) error {
 		buckets = t.buckets
 	}
 	s.mu.Unlock()
-	errs := make([]error, len(buckets))
+	classes := s.pool.classes
+	errs := make([]error, len(buckets)*len(classes))
 	var wg sync.WaitGroup
 	for i, b := range buckets {
-		wg.Add(1)
-		go func(i, b int) {
-			defer wg.Done()
-			s.mu.Lock()
-			dead := error(nil)
-			switch {
-			case s.closed:
-				dead = ErrClosed
-			case t.removed:
-				dead = ErrNotDeployed
-			}
-			s.mu.Unlock()
-			if dead != nil {
-				errs[i] = fmt.Errorf("bucket %d: %w", b, dead)
-				return
-			}
-			if v := s.variantFor(t, b); v.err != nil {
-				errs[i] = fmt.Errorf("bucket %d: %w", b, v.err)
-			}
-		}(i, b)
+		for _, c := range classes {
+			wg.Add(1)
+			go func(slot, b int, c deviceClass) {
+				defer wg.Done()
+				where := ""
+				if c.name != "" {
+					where = fmt.Sprintf(" on %s", c.name)
+				}
+				s.mu.Lock()
+				dead := error(nil)
+				switch {
+				case s.closed:
+					dead = ErrClosed
+				case t.removed:
+					dead = ErrNotDeployed
+				}
+				s.mu.Unlock()
+				if dead != nil {
+					errs[slot] = fmt.Errorf("bucket %d%s: %w", b, where, dead)
+					return
+				}
+				if v := s.variantFor(t, c.id, b); v.err != nil {
+					errs[slot] = fmt.Errorf("bucket %d%s: %w", b, where, v.err)
+				}
+			}(i*len(classes)+c.id, b, c)
+		}
 	}
 	wg.Wait()
 	return errors.Join(errs...)
@@ -437,6 +545,7 @@ func (s *Server) Stats() Stats {
 	agg := Stats{
 		Requests:          s.retired.requests,
 		Batches:           s.retired.batches,
+		Evictions:         s.retired.evictions,
 		BatchSizes:        make(map[int]int64),
 		Latencies:         s.retired.lat.snapshot(),
 		PriorityLatencies: make(map[Priority][]float64),
@@ -453,12 +562,13 @@ func (s *Server) Stats() Stats {
 	for _, t := range s.order {
 		agg.Requests += t.stats.requests
 		agg.Batches += t.stats.batches
+		agg.Evictions += t.stats.evictions
 		for k, v := range t.stats.batchSizes {
 			agg.BatchSizes[k] += v
 		}
-		for b, v := range t.variants {
+		for key, v := range t.variants {
 			if v.mod != nil && v.err == nil {
-				variants[b] = true
+				variants[key.bucket] = true
 			}
 		}
 		agg.Latencies = append(agg.Latencies, t.stats.lat.samples...)
@@ -477,7 +587,33 @@ func (s *Server) Stats() Stats {
 			agg.SimMakespan = c
 		}
 	}
+	agg.Devices = s.deviceStatsLocked()
 	return agg
+}
+
+// deviceStatsLocked builds the per-worker device rows (caller holds
+// s.mu). Batches sum to the aggregate batch count and utilization
+// shares to 1 (once any work ran), so per-device accounting is exact
+// against the aggregate.
+func (s *Server) deviceStatsLocked() []DeviceStats {
+	total := 0.0
+	for _, b := range s.workerBusy {
+		total += b
+	}
+	out := make([]DeviceStats, len(s.clocks))
+	for w := range out {
+		out[w] = DeviceStats{
+			Worker:      w,
+			Device:      s.pool.specs[w].DeviceName(),
+			Batches:     s.workerBatches[w],
+			BusySeconds: s.workerBusy[w],
+			SimMakespan: s.clocks[w],
+		}
+		if total > 0 {
+			out[w].UtilizationShare = s.workerBusy[w] / total
+		}
+	}
+	return out
 }
 
 // SimMakespan returns the largest worker clock without building the
@@ -499,6 +635,7 @@ func (t *tenant) snapshotLocked() Stats {
 	st := Stats{
 		Requests:          t.stats.requests,
 		Batches:           t.stats.batches,
+		Evictions:         t.stats.evictions,
 		BatchSizes:        make(map[int]int64, len(t.stats.batchSizes)),
 		SimMakespan:       t.stats.simMakespan,
 		Latencies:         t.stats.lat.snapshot(),
@@ -507,10 +644,14 @@ func (t *tenant) snapshotLocked() Stats {
 	for k, v := range t.stats.batchSizes {
 		st.BatchSizes[k] = v
 	}
-	for b, v := range t.variants {
+	buckets := make(map[int]bool)
+	for key, v := range t.variants {
 		if v.mod != nil && v.err == nil {
-			st.Variants = append(st.Variants, b)
+			buckets[key.bucket] = true
 		}
+	}
+	for b := range buckets {
+		st.Variants = append(st.Variants, b)
 	}
 	sort.Ints(st.Variants)
 	for _, pri := range priorityOrder {
@@ -588,8 +729,9 @@ func (s *Server) enqueue(r *request) {
 }
 
 // schedule is the scheduler loop: it absorbs arrivals into per-tenant
-// priority queues and dispatches ready batches to workers round-robin
-// (deterministic load balance across the simulated streams). Tenant
+// priority queues and dispatches ready batches to workers by modeled
+// earliest finish time across the device pool (deterministic,
+// cost-aware load balance across the simulated streams). Tenant
 // selection is weighted round-robin; within a tenant, batches drain
 // high-priority requests first.
 func (s *Server) schedule() {
@@ -603,12 +745,10 @@ func (s *Server) schedule() {
 		close(s.done)
 	}()
 	open := true // incoming not yet closed
-	next := 0    // next worker, round-robin
 	for {
 		open = s.drainIncoming(open)
 		if job := s.nextJob(time.Now()); job != nil {
-			s.workerCh[next] <- *job
-			next = (next + 1) % len(s.workerCh)
+			s.dispatch(job)
 			continue
 		}
 		if !open && !s.hasPending() {
@@ -616,6 +756,124 @@ func (s *Server) schedule() {
 		}
 		s.await(open)
 	}
+}
+
+// dispatch places one ready batch on the earliest-finish-time worker,
+// commits that worker's modeled finish time, and hands the batch over.
+// Every device class is already priced when a batch reaches here
+// (nextJob defers un-priced buckets to background pricing compiles),
+// so pricing is a single locked read of the cost memo. On homogeneous
+// pools with equal costs EFT degenerates to round-robin; with mixed
+// devices the fast class absorbs proportionally more work, and a full
+// bucket never waits while any worker's modeled finish time would
+// admit it earlier.
+func (s *Server) dispatch(job *batchJob) {
+	k := len(job.reqs)
+	for _, r := range job.reqs {
+		if r.simArrival > job.arrival {
+			job.arrival = r.simArrival
+		}
+	}
+	costs := make([]float64, len(s.pool.classes))
+	live := make([]bool, len(s.pool.classes))
+	s.mu.Lock()
+	for c := range costs {
+		key := vkey{class: c, bucket: k}
+		if cost, ok := job.t.costs[key]; ok {
+			costs[c] = cost
+			v := job.t.variants[key]
+			live[c] = v != nil && v.mod != nil && v.err == nil
+		} else {
+			// Pricing resolved with a failed compile: never placeable
+			// unless every class failed (then worker 0 surfaces the
+			// error).
+			costs[c] = math.Inf(1)
+		}
+	}
+	s.mu.Unlock()
+	pl := s.pool.place(costs, live, job.arrival)
+	job.worker, job.class = pl.worker, pl.class
+	if !math.IsInf(pl.finish, 1) {
+		job.cost, job.priced = costs[pl.class], true
+	}
+	s.pool.commit(pl)
+	s.workerCh[pl.worker] <- *job
+}
+
+// bucketPricedLocked reports whether every device class has a resolved
+// price for the bucket: a memoized cost, or a compile that completed
+// with an error (caller holds s.mu).
+func (s *Server) bucketPricedLocked(t *tenant, k int) bool {
+	for c := range s.pool.classes {
+		key := vkey{class: c, bucket: k}
+		if _, ok := t.costs[key]; ok {
+			continue
+		}
+		if v := t.variants[key]; v != nil && v.err != nil {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// ensurePricingLocked kicks off background pricing compiles for a
+// bucket's unresolved classes, at most once at a time per bucket
+// (caller holds s.mu). The scheduler keeps dispatching other tenants
+// while the compiles run; completion nudges it back.
+func (s *Server) ensurePricingLocked(t *tenant, k int) {
+	if t.pricing == nil {
+		t.pricing = make(map[int]bool)
+	}
+	if t.pricing[k] {
+		return
+	}
+	t.pricing[k] = true
+	// Tracked on the server WaitGroup so Close waits for in-flight
+	// pricing compiles before running OnClose — their tuning-log
+	// entries land before the close-time persist.
+	s.wg.Add(1)
+	go s.priceBucket(t, k)
+}
+
+// priceBucket compiles a bucket's variant on every class that has no
+// resolved price yet (concurrently, each gated by the CompileJobs
+// pool), then clears the in-flight mark and wakes the scheduler.
+// Classes whose cost is memoized are skipped — pricing never
+// recompiles an evicted variant — and an Undeploy races the compiles
+// the same way it races Warm: classes not yet started are abandoned
+// rather than compiled for a dead tenant. A closing (flushing) server
+// still prices, because its queued requests must be answered.
+func (s *Server) priceBucket(t *tenant, k int) {
+	defer s.wg.Done()
+	var wg sync.WaitGroup
+	for c := range s.pool.classes {
+		key := vkey{class: c, bucket: k}
+		s.mu.Lock()
+		done := t.removed
+		if !done {
+			_, done = t.costs[key]
+		}
+		if !done {
+			if v := t.variants[key]; v != nil && v.err != nil {
+				done = true
+			}
+		}
+		s.mu.Unlock()
+		if done {
+			continue
+		}
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			s.variantFor(t, c, k)
+		}(c)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	delete(t.pricing, k)
+	s.mu.Unlock()
+	s.nudge()
 }
 
 // drainIncoming absorbs requests already queued on the incoming
@@ -658,6 +916,14 @@ func (s *Server) await(open bool) {
 	}
 	var timerC <-chan time.Time
 	if wait, ok := s.nearestDeadline(time.Now()); ok {
+		// An already-expired deadline (floored to 0) can reach here
+		// only while a batch waits on a background pricing compile —
+		// nextJob dispatches expired work otherwise. Poll at 1ms
+		// instead of spinning hot until the compile's nudge arrives;
+		// genuinely future deadlines keep their exact timer.
+		if wait == 0 {
+			wait = time.Millisecond
+		}
 		timer := time.NewTimer(wait)
 		defer timer.Stop()
 		timerC = timer.C
@@ -745,6 +1011,26 @@ func (s *Server) nextJob(now time.Time) *batchJob {
 		}
 	}
 	if len(ready) == 0 {
+		return nil
+	}
+	// Every ready tenant's bucket must be priced before any batch goes
+	// out: dispatch order is the weighted-round-robin contract, and
+	// serving whoever happens to be priced first would invert it (the
+	// skipped pickWRR calls would also corrupt the smooth-WRR state).
+	// Unpriced buckets compile on background goroutines — overlapping
+	// through the CompileJobs pool and nudging the scheduler when done
+	// — so the scheduler goroutine itself stays responsive (arrivals,
+	// Undeploy, Close) during a cold tenant's first compile. Warm
+	// avoids the stall entirely.
+	allPriced := true
+	for _, t := range ready {
+		k := bucketFor(t.buckets, t.pending)
+		if !s.bucketPricedLocked(t, k) {
+			s.ensurePricingLocked(t, k)
+			allPriced = false
+		}
+	}
+	if !allPriced {
 		return nil
 	}
 	t := pickWRR(ready)
@@ -837,48 +1123,113 @@ func (s *Server) worker(id int) {
 }
 
 // variantFor resolves (compiling at most once, through the shared
-// compile pool) a tenant's module for a batch bucket.
-func (s *Server) variantFor(t *tenant, batch int) *variant {
+// compile pool) a tenant's module for a batch bucket on one device
+// class. A successful compile memoizes the variant's modeled batch
+// cost (surviving eviction, for dispatch pricing) and then enforces
+// the tenant's per-class LRU budget.
+func (s *Server) variantFor(t *tenant, class, batch int) *variant {
+	key := vkey{class: class, bucket: batch}
 	s.mu.Lock()
-	v := t.variants[batch]
+	v := t.variants[key]
 	if v == nil {
 		v = &variant{}
-		t.variants[batch] = v
+		t.variants[key] = v
+	}
+	if v.mod != nil {
+		s.lruTick++
+		v.lastUse = s.lruTick
 	}
 	s.mu.Unlock()
 	v.once.Do(func() {
 		s.compileSem <- struct{}{}
 		defer func() { <-s.compileSem }()
-		mod, err := t.compile(batch)
+		mod, err := t.compile(s.pool.classes[class].dev, batch)
 		var tm float64
+		var bytes int64
 		if err == nil {
 			tm = mod.Time()
+			mem := mod.Memory()
+			bytes = int64(mem.ParamBytes + mem.PlannedArenaBytes)
 		}
 		// Publish under s.mu so Stats (which iterates variants without
 		// going through the Once) is synchronized with this write;
 		// post-Do readers are already ordered by the Once itself.
 		s.mu.Lock()
-		v.mod, v.err, v.time = mod, err, tm
+		v.mod, v.err, v.time, v.bytes = mod, err, tm, bytes
+		if err == nil {
+			t.costs[key] = tm
+			s.lruTick++
+			v.lastUse = s.lruTick
+			s.evictLocked(t, class, v)
+		}
 		s.mu.Unlock()
 	})
 	return v
 }
 
+// evictLocked enforces a tenant's per-class variant budget (caller
+// holds s.mu): while the class's live compiled variants exceed
+// MaxVariantBytes, the least-recently-used one (never keep, which was
+// just compiled or is about to execute) is dropped from the cache and
+// counted. In-flight batches holding the evicted module finish
+// normally — eviction only forgets the cache entry; a later dispatch
+// recompiles it through the shared tuning log, measurement-free.
+func (s *Server) evictLocked(t *tenant, class int, keep *variant) {
+	if t.maxVariantBytes <= 0 {
+		return
+	}
+	for {
+		total := int64(0)
+		var oldestKey vkey
+		var oldest *variant
+		for key, v := range t.variants {
+			if key.class != class || v.mod == nil || v.err != nil {
+				continue
+			}
+			total += v.bytes
+			if v != keep && (oldest == nil || v.lastUse < oldest.lastUse) {
+				oldestKey, oldest = key, v
+			}
+		}
+		if total <= t.maxVariantBytes || oldest == nil {
+			return
+		}
+		delete(t.variants, oldestKey)
+		t.stats.evictions++
+	}
+}
+
 // runBatch executes one dispatched batch on worker id and answers its
-// requests.
+// requests. The worker's clock advances by the cost the scheduler
+// priced the batch at, starting no earlier than the batch's latest
+// simulated arrival — mirroring the EFT model exactly, so the clock
+// converges to the scheduler's committed finish times.
 func (s *Server) runBatch(id int, job batchJob) {
 	k := len(job.reqs)
-	v := s.variantFor(job.t, k)
+	v := s.variantFor(job.t, job.class, k)
 	var outs []*tensor.Tensor
 	err := v.err
 	if err == nil {
 		outs, err = execBatch(v.mod, job.reqs)
 	}
 	s.mu.Lock()
-	if err == nil {
-		s.clocks[id] += v.time
+	// Advance the clock by the cost the scheduler committed to its
+	// finish-time model — even when execution failed (a priced batch
+	// was dispatched and must stay accounted, or sched[worker] would
+	// lead the clock forever and bias every later placement away from
+	// this worker). Only unpriceable batches (never committed) leave
+	// the clock untouched.
+	if job.priced {
+		start := s.clocks[id]
+		if job.arrival > start {
+			start = job.arrival
+		}
+		s.clocks[id] = start + job.cost
+		s.workerBusy[id] += job.cost
 	}
+	s.workerBatches[id]++
 	doneAt := s.clocks[id]
+	device := s.pool.specs[id].DeviceName()
 	st := &job.t.stats
 	if job.t.removed {
 		// The tenant was undeployed while this batch was in flight; its
@@ -891,9 +1242,11 @@ func (s *Server) runBatch(id int, job batchJob) {
 	if doneAt > st.simMakespan {
 		st.simMakespan = doneAt
 	}
-	for _, r := range job.reqs {
-		st.lat.add(doneAt)
-		st.priLat[r.priority].add(doneAt)
+	if err == nil {
+		for _, r := range job.reqs {
+			st.lat.add(doneAt - r.simArrival)
+			st.priLat[r.priority].add(doneAt - r.simArrival)
+		}
 	}
 	s.mu.Unlock()
 	for i, r := range job.reqs {
@@ -903,10 +1256,12 @@ func (s *Server) runBatch(id int, job batchJob) {
 			Priority:   r.priority,
 			Batch:      k,
 			Worker:     id,
-			SimLatency: doneAt,
+			Device:     device,
+			SimArrival: r.simArrival,
 		}
 		if err == nil {
 			res.Output = outs[i]
+			res.SimLatency = doneAt - r.simArrival
 		}
 		s.respond(r, res)
 	}

@@ -48,15 +48,48 @@ func (p Priority) String() string {
 	return "invalid"
 }
 
+// DeviceStats is one worker's share of the served work: which device
+// it models, how much simulated time it spent executing, and how many
+// batches it ran. Batches sum to the aggregate Stats.Batches and
+// UtilizationShare to 1 (once any work ran), so per-device accounting
+// is exact against the aggregate.
+type DeviceStats struct {
+	// Worker is the executor index.
+	Worker int
+	// Device names the worker's device ("" for homogeneous legacy
+	// streams configured via ServerOptions.Workers).
+	Device string
+	// Batches counts batches dispatched to this worker.
+	Batches int64
+	// BusySeconds is the simulated time this worker spent executing
+	// (the sum of its batches' modeled costs).
+	BusySeconds float64
+	// SimMakespan is this worker's simulated clock: when its last batch
+	// finished.
+	SimMakespan float64
+	// UtilizationShare is this worker's BusySeconds over the pool's
+	// total busy time — on a well-balanced heterogeneous pool it tracks
+	// the devices' modeled speed ratio.
+	UtilizationShare float64
+}
+
 // Stats is a snapshot of serving counters — per model (ModelStats) or
 // aggregated across every model a server has ever deployed (Stats).
 type Stats struct {
 	Requests int64
 	Batches  int64
+	// Evictions counts compiled variants dropped by the per-tenant LRU
+	// budget (DeployOptions.MaxVariantBytes).
+	Evictions int64
 	// BatchSizes histograms dispatched batch sizes.
 	BatchSizes map[int]int64
-	// Variants lists the bucket sizes compiled so far.
+	// Variants lists the bucket sizes with a live compiled variant on
+	// at least one device class (evicted variants drop out until
+	// recompiled).
 	Variants []int
+	// Devices holds the per-worker device rows (aggregate snapshots
+	// only; nil on per-model snapshots, since workers are shared).
+	Devices []DeviceStats
 	// SimMakespan is the modeled wall time to drain everything served
 	// so far: for a model snapshot, the simulated clock when its last
 	// batch finished; for the aggregate, the largest worker clock.

@@ -1,10 +1,12 @@
 package bolt
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"time"
 
+	"bolt/internal/gpu"
 	"bolt/internal/relay"
 	"bolt/internal/rt"
 	"bolt/internal/serve"
@@ -25,8 +27,13 @@ type (
 	ServeResult = serve.Result
 	// Priority classifies a request for the scheduler.
 	Priority = serve.Priority
-	// InferOptions carries a request's Priority and MaxWait.
+	// InferOptions carries a request's Priority, MaxWait, and simulated
+	// arrival time.
 	InferOptions = serve.InferOptions
+	// DeviceStats is one worker's share of the served work on a
+	// (possibly heterogeneous) pool: busy seconds, batches, utilization
+	// share, and per-device makespan.
+	DeviceStats = serve.DeviceStats
 )
 
 // Request priorities. High preempts the batch window, bulk waits for
@@ -51,8 +58,19 @@ var (
 // Server shares.
 type ServerOptions struct {
 	// Workers is the number of concurrent executors (simulated device
-	// streams) shared by all models. Values < 1 mean 1.
+	// streams) shared by all models, all modeling the device NewServer
+	// was given. Values < 1 mean 1. Mutually exclusive with Devices.
 	Workers int
+	// Devices makes the pool heterogeneous: one worker per entry, each
+	// modeling that device (e.g. {T4(), T4(), A100()}). Every deployed
+	// model compiles per-(device, bucket) variants through the shared
+	// tuning log (keys are device-scoped, so all classes coexist in one
+	// cache file), and the scheduler dispatches each batch to the
+	// worker with the smallest modeled finish time (clock + that
+	// device's batch cost) — big buckets gravitate to the fast device.
+	// Mutually exclusive with Workers: setting both is a configuration
+	// error, not a preference.
+	Devices []*Device
 	// QueueDepth bounds the pending-request queue across all models;
 	// Infer blocks when it is full. Values < 1 mean 1024.
 	QueueDepth int
@@ -90,6 +108,12 @@ type DeployOptions struct {
 	Weight int
 	// BatchWindow overrides ServerOptions.BatchWindow for this model.
 	BatchWindow time.Duration
+	// MaxVariantBytes bounds the modeled memory (parameters + planned
+	// activation arena) of this model's compiled variants held per
+	// device class; beyond it the least-recently-used variants are
+	// evicted (ServeStats.Evictions) and recompile on next use through
+	// the tuning log, measurement-free. Zero means unbounded.
+	MaxVariantBytes int64
 }
 
 // Server is the multi-tenant serving endpoint: several models share
@@ -114,9 +138,30 @@ type Server struct {
 	persistErr error
 }
 
-// NewServer starts an empty multi-tenant server. Models are added with
-// Deploy; Close drains in-flight work and persists the tuning log.
+// NewServer starts an empty multi-tenant server over dev (or over
+// ServerOptions.Devices when the pool is heterogeneous — dev then only
+// backs deployments on servers with legacy anonymous workers). Models
+// are added with Deploy; Close drains in-flight work and persists the
+// tuning log.
 func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
+	if opts.Workers > 0 && len(opts.Devices) > 0 {
+		return nil, fmt.Errorf("bolt: ServerOptions.Workers (%d) and ServerOptions.Devices (%d entries) are mutually exclusive: Devices already implies one worker per device — set exactly one of them",
+			opts.Workers, len(opts.Devices))
+	}
+	// Workers that model the same device are grouped into one class by
+	// Name and share compiled variants, so two same-named entries with
+	// different specs would silently serve one spec's modules on the
+	// other's worker — reject the mismatch here, where it is visible.
+	byName := make(map[string]*Device)
+	for i, d := range opts.Devices {
+		if d == nil {
+			return nil, fmt.Errorf("bolt: ServerOptions.Devices[%d] is nil", i)
+		}
+		if prev, ok := byName[d.Name]; ok && *prev != *d {
+			return nil, fmt.Errorf("bolt: ServerOptions.Devices[%d] %q differs from an earlier entry with the same name: same-named devices form one class and must have identical specs", i, d.Name)
+		}
+		byName[d.Name] = d
+	}
 	var cache *tunelog.Log
 	if opts.CacheFile != "" {
 		var err error
@@ -127,6 +172,7 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 	s := &Server{dev: dev, opts: opts, cache: cache}
 	s.srv = serve.NewServer(serve.ServerOptions{
 		Workers:     opts.Workers,
+		Devices:     opts.Devices,
 		QueueDepth:  opts.QueueDepth,
 		BatchWindow: opts.BatchWindow,
 		CompileJobs: opts.Jobs,
@@ -137,18 +183,24 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 	return s, nil
 }
 
-// Deploy registers a model under a unique name. Each batch bucket's
-// module is compiled on demand from a relay.Rebatch clone of the
-// source graph through the regular pipeline (profiler + shared tunelog
-// cache). The source graph is never mutated and its weights are shared
-// across all variants.
+// Deploy registers a model under a unique name. Each (device, batch
+// bucket) variant's module is compiled on demand from a relay.Rebatch
+// clone of the source graph through the regular pipeline (profiler +
+// shared tunelog cache) targeting that worker's device — on a
+// heterogeneous pool a T4 worker and an A100 worker each execute a
+// module tuned for their own silicon, and the device-scoped tunelog
+// keys keep both families in one cache file. The source graph is
+// never mutated and its weights are shared across all variants.
 func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
-	compile := func(batch int) (*rt.Module, error) {
+	compile := func(dev *gpu.Device, batch int) (*rt.Module, error) {
+		if dev == nil {
+			dev = s.dev // anonymous homogeneous worker: the server device
+		}
 		vg, err := relay.Rebatch(g, batch)
 		if err != nil {
 			return nil, err
 		}
-		res, err := compileTemplated(vg, s.dev, s.cache, s.opts.Jobs, false)
+		res, err := compileTemplated(vg, dev, s.cache, s.opts.Jobs, false)
 		if err != nil {
 			return nil, err
 		}
@@ -159,10 +211,11 @@ func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
 		_ = s.persistCache()
 		return res.Module, nil
 	}
-	return s.srv.Deploy(name, compile, serve.DeployOptions{
-		Buckets:     opts.Buckets,
-		Weight:      opts.Weight,
-		BatchWindow: opts.BatchWindow,
+	return s.srv.DeployOn(name, compile, serve.DeployOptions{
+		Buckets:         opts.Buckets,
+		Weight:          opts.Weight,
+		BatchWindow:     opts.BatchWindow,
+		MaxVariantBytes: opts.MaxVariantBytes,
 	})
 }
 
