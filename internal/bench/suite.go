@@ -38,6 +38,13 @@ type Suite struct {
 	// HeteroArtifact, when set, is where the hetero experiment writes
 	// its JSON artifact (boltbench points it at BENCH_pr5.json).
 	HeteroArtifact string
+	// PaddingRequests is the Poisson-stream size for the padded-dispatch
+	// / continuous-batching ablation (rounded down to a multiple of the
+	// largest bucket so the strict baseline is deterministic).
+	PaddingRequests int
+	// PaddingArtifact, when set, is where the padding experiment writes
+	// its JSON artifact (boltbench points it at BENCH_pr6.json).
+	PaddingArtifact string
 
 	seed     int64
 	e2eCache []e2eResult
@@ -48,7 +55,8 @@ func NewSuite(dev *gpu.Device) *Suite {
 	return &Suite{
 		Dev: dev, Lib: cublaslike.New(dev),
 		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32,
-		ServingRequests: 96, MultiModelRequests: 64, HeteroRequests: 128, seed: 1,
+		ServingRequests: 96, MultiModelRequests: 64, HeteroRequests: 128,
+		PaddingRequests: 128, seed: 1,
 	}
 }
 
@@ -62,6 +70,7 @@ func NewQuickSuite(dev *gpu.Device) *Suite {
 	s.ServingRequests = 48
 	s.MultiModelRequests = 32
 	s.HeteroRequests = 48
+	s.PaddingRequests = 48
 	return s
 }
 

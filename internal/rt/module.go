@@ -162,6 +162,24 @@ func (m *Module) Run(inputs map[string]*tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// RunRows executes the module on a (possibly padded) batch and returns
+// only the first rows rows of the output, caller-owned. This is the
+// padded-dispatch execution path: the serving scheduler may run a
+// partial batch on a larger compiled bucket with zero-padded inputs,
+// and the padding rows' outputs must never reach a caller. Every
+// operator the runtime executes is row-independent along the leading
+// batch dimension, so the real rows are bit-identical to an unpadded
+// run. Safe for concurrent callers, like Run.
+func (m *Module) RunRows(inputs map[string]*tensor.Tensor, rows int) *tensor.Tensor {
+	if m.Plan == nil {
+		return tensor.StripBatch(m.exec(NewEnv(len(m.Kernels), inputs), nil), rows)
+	}
+	st := m.AcquireState()
+	out := tensor.StripBatch(m.RunOn(st, inputs), rows)
+	m.ReleaseState(st)
+	return out
+}
+
 // RunUnplanned executes with the clone-based reference semantics:
 // every kernel allocates a fresh output and nothing is recycled. It is
 // the oracle the planned executor is validated against bit-for-bit,

@@ -192,6 +192,48 @@ func TestModuleAccounting(t *testing.T) {
 	}
 }
 
+// TestModuleRunRowsStripsPadding pins the padded-execution contract:
+// RunRows on a zero-padded batch returns only the real rows, and those
+// rows are bit-identical to running the same inputs unpadded — the
+// runtime's operators are row-independent along the batch dim.
+func TestModuleRunRowsStripsPadding(t *testing.T) {
+	d := gpu.T4()
+	n1 := &relay.Node{ID: 0, Op: relay.OpInput, Name: "x", Shape: tensor.Shape{4, 2}, DType: tensor.FP32}
+	n2 := &relay.Node{ID: 1, Op: relay.OpActivation, Inputs: []*relay.Node{n1}, Shape: tensor.Shape{4, 2}, DType: tensor.FP32}
+	g := &relay.Graph{Nodes: []*relay.Node{n1, n2}, Inputs: []*relay.Node{n1}, Output: n2}
+	m := &Module{
+		Graph:  g,
+		Device: d,
+		Kernels: []Kernel{
+			{Name: "in", Node: n1, Slot: 0,
+				Exec: func(env *Env, dst *tensor.Tensor) *tensor.Tensor { return env.Input("x") }},
+			{Name: "act", Node: n2, Slot: 1, Launches: 1,
+				Desc: ElementwiseLikeDesc("act", 8, 1, 1, tensor.FP32),
+				Exec: func(env *Env, dst *tensor.Tensor) *tensor.Tensor {
+					return ActivationInto(dst, env.Value(0), cutlass.ActReLU)
+				}},
+		},
+	}
+	real2 := tensor.FromData(tensor.FP32, []float32{-2, 3, 5, -7}, 2, 2)
+	padded := tensor.PadBatch(real2, 4)
+	out := m.RunRows(map[string]*tensor.Tensor{"x": padded}, 2)
+	if !out.Shape().Equal(tensor.Shape{2, 2}) {
+		t.Fatalf("RunRows shape %v, want (2, 2)", out.Shape())
+	}
+	oracle := m.RunUnplanned(map[string]*tensor.Tensor{"x": padded})
+	for i := 0; i < 4; i++ {
+		if out.Data()[i] != oracle.Data()[i] {
+			t.Errorf("real row element %d = %g, want %g", i, out.Data()[i], oracle.Data()[i])
+		}
+	}
+	want := []float32{0, 3, 5, 0}
+	for i, v := range want {
+		if out.Data()[i] != v {
+			t.Errorf("out[%d] = %g, want %g", i, out.Data()[i], v)
+		}
+	}
+}
+
 func TestEnvPanicsOnMissing(t *testing.T) {
 	env := NewEnv(0, map[string]*tensor.Tensor{})
 	defer func() {

@@ -68,6 +68,13 @@ type Options struct {
 	// hoping to fill the largest bucket. Zero means dispatch greedily
 	// with whatever is already queued.
 	BatchWindow time.Duration
+	// AllowPadding enables padded-bucket dispatch for the engine's model
+	// (see DeployOptions.AllowPadding).
+	AllowPadding bool
+	// ContinuousBatching replaces the window rule with modeled
+	// marginal-gain batch formation (see
+	// DeployOptions.ContinuousBatching).
+	ContinuousBatching bool
 }
 
 // normalized delegates to the server/deploy normalization so the
@@ -129,7 +136,11 @@ func New(compile CompileVariant, opts Options) (*Engine, error) {
 		QueueDepth:  opts.QueueDepth,
 		BatchWindow: opts.BatchWindow,
 	})
-	if err := srv.Deploy(EngineModel, compile, DeployOptions{Buckets: opts.Buckets}); err != nil {
+	if err := srv.Deploy(EngineModel, compile, DeployOptions{
+		Buckets:            opts.Buckets,
+		AllowPadding:       opts.AllowPadding,
+		ContinuousBatching: opts.ContinuousBatching,
+	}); err != nil {
 		srv.Close()
 		return nil, err
 	}

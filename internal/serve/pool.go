@@ -105,10 +105,19 @@ type placement struct {
 // compile) is only chosen when every class is infinite, in which case
 // worker 0 takes the batch and surfaces the compile error.
 func (p *pool) place(costs []float64, live []bool, arrival float64) placement {
+	return p.placeOn(p.sched, costs, live, arrival)
+}
+
+// placeOn is the placement rule over an explicit finish-time vector,
+// so the padded-dispatch planner can simulate hypothetical placements
+// on a scratch copy of sched without committing anything. A nil live
+// treats every class as uncompiled (the tie-break then falls straight
+// to the lowest worker index, which is all a what-if preview needs).
+func (p *pool) placeOn(sched []float64, costs []float64, live []bool, arrival float64) placement {
 	best := placement{worker: -1, finish: math.Inf(1)}
 	for w := range p.specs {
 		c := p.classOf[w]
-		start := p.sched[w]
+		start := sched[w]
 		if arrival > start {
 			start = arrival
 		}
@@ -116,11 +125,53 @@ func (p *pool) place(costs []float64, live []bool, arrival float64) placement {
 		switch {
 		case best.worker < 0 || finish < best.finish:
 			best = placement{worker: w, class: c, finish: finish}
-		case finish == best.finish && live[c] && !live[best.class]:
+		case finish == best.finish && live != nil && live[c] && !live[best.class]:
 			best = placement{worker: w, class: c, finish: finish}
 		}
 	}
 	return best
+}
+
+// previewFinish returns the modeled EFT completion of one hypothetical
+// batch without committing it — what the padded-dispatch planner uses
+// to price "run these rows padded on the larger bucket, now".
+func (p *pool) previewFinish(costs []float64, arrival float64) float64 {
+	return p.placeOn(p.sched, costs, nil, arrival).finish
+}
+
+// chainFinish simulates greedily EFT-placing a sequence of batches
+// (each with its own per-class costs and arrival), committing each
+// placement to a scratch copy of sched, and returns the chain's
+// makespan. This is the strict-bucket counterfactual the planner
+// compares a padded dispatch against: without padding, n pending rows
+// drain as a greedy chain of exact buckets, each link placed by the
+// same EFT rule the real dispatcher uses.
+func (p *pool) chainFinish(costSets [][]float64, arrivals []float64) float64 {
+	scratch := append([]float64(nil), p.sched...)
+	finish := 0.0
+	for i, costs := range costSets {
+		pl := p.placeOn(scratch, costs, nil, arrivals[i])
+		if !math.IsInf(pl.finish, 1) {
+			scratch[pl.worker] = pl.finish
+		}
+		if pl.finish > finish {
+			finish = pl.finish
+		}
+	}
+	return finish
+}
+
+// minSched returns the smallest modeled finish time across the pool —
+// the first moment any worker frees up, which continuous batch
+// formation uses as "when could this batch start".
+func (p *pool) minSched() float64 {
+	m := p.sched[0]
+	for _, v := range p.sched[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
 }
 
 // commit advances the scheduler's finish-time model for a placed

@@ -101,6 +101,31 @@ type DeployOptions struct {
 	// compile-evict cycles (each cheap — the tuning log makes
 	// recompiles measurement-free — but counted in Stats.Evictions).
 	MaxVariantBytes int64
+	// AllowPadding lets the scheduler run a partial batch on a larger
+	// compiled bucket with zero-padded rows whenever the cost model says
+	// the padded run completes earlier than draining the rows as a
+	// strict chain of exact buckets (each leg priced by the same EFT
+	// rule the dispatcher uses). Pad cost is the larger variant's full
+	// modeled cost — padding buys schedule slots, not free work — and
+	// padded outputs are stripped back to the real rows before they
+	// reach callers. Equal-cost ties keep the strict plan, so enabling
+	// padding never changes a workload the model prices as neutral.
+	// Ignored for single-bucket models (nothing to pad into).
+	AllowPadding bool
+	// ContinuousBatching replaces the fixed batch-window formation rule
+	// for this model: instead of waiting for a full largest bucket or a
+	// wall-clock window, a forming batch absorbs queued arrivals (in
+	// dispatch order, on their simulated arrival times) while the
+	// modeled marginal gain of one more row is positive — one saved
+	// launch of the small bucket against the extra wait the rows already
+	// in the batch would pay — then dispatches. The policy is
+	// work-conserving: with no further queued arrival to price, the
+	// batch dispatches rather than idle a worker on the hope of unseen
+	// traffic, so BatchWindow only matters as the MaxWait default for
+	// requests that keep it. Expired deadlines, high-priority arrivals,
+	// and Close still force a dispatch exactly as before. Ignored for
+	// single-bucket models (every request already dispatches greedily).
+	ContinuousBatching bool
 }
 
 // InferOptions classifies one request for the scheduler.
@@ -138,8 +163,12 @@ type request struct {
 // batchJob is one dispatched batch: requests of a single tenant, in
 // priority-then-FIFO order, plus the scheduler's EFT placement.
 type batchJob struct {
-	t       *tenant
-	reqs    []*request
+	t    *tenant
+	reqs []*request
+	// bucket is the compiled variant the batch runs on — len(reqs) for
+	// a strict dispatch, larger when the planner chose a padded run
+	// (the bucket−len(reqs) extra rows are zero padding).
+	bucket  int
 	worker  int     // chosen executor
 	class   int     // its device class
 	cost    float64 // modeled batch cost on that class (0 if unpriceable)
@@ -167,13 +196,15 @@ type variant struct {
 
 // tenantStats are one model's serving counters (guarded by Server.mu).
 type tenantStats struct {
-	requests    int64
-	batches     int64
-	evictions   int64
-	batchSizes  map[int]int64
-	simMakespan float64
-	lat         latWindow
-	priLat      [numPriorities]latWindow
+	requests      int64
+	batches       int64
+	evictions     int64
+	paddedBatches int64 // batches run on a bucket larger than their row count
+	paddedRows    int64 // zero-padding rows across those batches
+	batchSizes    map[int]int64
+	simMakespan   float64
+	lat           latWindow
+	priLat        [numPriorities]latWindow
 }
 
 // merge folds another model's counters into this accumulator (latency
@@ -182,6 +213,8 @@ func (ts *tenantStats) merge(o *tenantStats) {
 	ts.requests += o.requests
 	ts.batches += o.batches
 	ts.evictions += o.evictions
+	ts.paddedBatches += o.paddedBatches
+	ts.paddedRows += o.paddedRows
 	for k, v := range o.batchSizes {
 		ts.batchSizes[k] += v
 	}
@@ -205,6 +238,12 @@ type tenant struct {
 	window          time.Duration
 	weight          int
 	maxVariantBytes int64 // per-class LRU budget (0 = unbounded)
+	pad             bool  // DeployOptions.AllowPadding
+	continuous      bool  // DeployOptions.ContinuousBatching
+	// planRuns counts adaptive-planner invocations — the observable for
+	// the single-bucket short-circuit: a model whose ladder has one rung
+	// must never reach the planner, whatever its flags say.
+	planRuns int64
 
 	wrr      int // smooth weighted-round-robin current weight
 	queues   [numPriorities][]*request
@@ -225,6 +264,15 @@ type tenant struct {
 
 // maxBucket returns the tenant's largest configured bucket.
 func (t *tenant) maxBucket() int { return t.buckets[len(t.buckets)-1] }
+
+// adaptive reports whether dispatch for this tenant goes through the
+// padded/continuous planner. Single-bucket models short-circuit to the
+// strict path no matter what the flags say: with one rung there is
+// nothing to pad into and nothing for marginal-gain formation to weigh,
+// so they must pay zero scheduling overhead.
+func (t *tenant) adaptive() bool {
+	return (t.pad || t.continuous) && len(t.buckets) > 1
+}
 
 // Server is a multi-tenant serving engine: several models share one
 // worker pool (the simulated device streams) and one scheduler. Each
@@ -262,6 +310,7 @@ type Server struct {
 	clocks        []float64 // per-worker simulated seconds
 	workerBusy    []float64 // per-worker simulated seconds spent executing
 	workerBatches []int64   // per-worker dispatched batches
+	workerPadded  []int64   // per-worker padded batches (bucket > rows)
 }
 
 // NewServer starts a multi-tenant server: one scheduler plus
@@ -282,6 +331,7 @@ func NewServer(opts ServerOptions) *Server {
 		clocks:        make([]float64, opts.Workers),
 		workerBusy:    make([]float64, opts.Workers),
 		workerBatches: make([]int64, opts.Workers),
+		workerPadded:  make([]int64, opts.Workers),
 	}
 	for i := range s.workerCh {
 		s.workerCh[i] = make(chan batchJob, 4)
@@ -340,6 +390,8 @@ func (s *Server) DeployOn(name string, compile CompileVariantOn, opts DeployOpti
 		window:          window,
 		weight:          weight,
 		maxVariantBytes: opts.MaxVariantBytes,
+		pad:             opts.AllowPadding,
+		continuous:      opts.ContinuousBatching,
 		variants:        make(map[vkey]*variant),
 		costs:           make(map[vkey]float64),
 		stats:           tenantStats{batchSizes: make(map[int]int64)},
@@ -546,6 +598,8 @@ func (s *Server) Stats() Stats {
 		Requests:          s.retired.requests,
 		Batches:           s.retired.batches,
 		Evictions:         s.retired.evictions,
+		PaddedBatches:     s.retired.paddedBatches,
+		PaddedRows:        s.retired.paddedRows,
 		BatchSizes:        make(map[int]int64),
 		Latencies:         s.retired.lat.snapshot(),
 		PriorityLatencies: make(map[Priority][]float64),
@@ -563,6 +617,8 @@ func (s *Server) Stats() Stats {
 		agg.Requests += t.stats.requests
 		agg.Batches += t.stats.batches
 		agg.Evictions += t.stats.evictions
+		agg.PaddedBatches += t.stats.paddedBatches
+		agg.PaddedRows += t.stats.paddedRows
 		for k, v := range t.stats.batchSizes {
 			agg.BatchSizes[k] += v
 		}
@@ -603,17 +659,30 @@ func (s *Server) deviceStatsLocked() []DeviceStats {
 	out := make([]DeviceStats, len(s.clocks))
 	for w := range out {
 		out[w] = DeviceStats{
-			Worker:      w,
-			Device:      s.pool.specs[w].DeviceName(),
-			Batches:     s.workerBatches[w],
-			BusySeconds: s.workerBusy[w],
-			SimMakespan: s.clocks[w],
+			Worker:        w,
+			Device:        s.pool.specs[w].DeviceName(),
+			Batches:       s.workerBatches[w],
+			PaddedBatches: s.workerPadded[w],
+			BusySeconds:   s.workerBusy[w],
+			SimMakespan:   s.clocks[w],
 		}
 		if total > 0 {
 			out[w].UtilizationShare = s.workerBusy[w] / total
 		}
 	}
 	return out
+}
+
+// Pending returns the number of accepted, not-yet-dispatched requests
+// across all models. Benchmarks that want a deterministic batch
+// composition gate the first dispatch (e.g. behind the compile
+// function) and poll Pending until every enqueued request is visible to
+// the scheduler, so planning always sees the whole queue regardless of
+// wall-clock scheduling noise.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingTotal
 }
 
 // SimMakespan returns the largest worker clock without building the
@@ -636,6 +705,8 @@ func (t *tenant) snapshotLocked() Stats {
 		Requests:          t.stats.requests,
 		Batches:           t.stats.batches,
 		Evictions:         t.stats.evictions,
+		PaddedBatches:     t.stats.paddedBatches,
+		PaddedRows:        t.stats.paddedRows,
 		BatchSizes:        make(map[int]int64, len(t.stats.batchSizes)),
 		SimMakespan:       t.stats.simMakespan,
 		Latencies:         t.stats.lat.snapshot(),
@@ -768,7 +839,9 @@ func (s *Server) schedule() {
 // bucket never waits while any worker's modeled finish time would
 // admit it earlier.
 func (s *Server) dispatch(job *batchJob) {
-	k := len(job.reqs)
+	if job.bucket < len(job.reqs) {
+		job.bucket = len(job.reqs)
+	}
 	for _, r := range job.reqs {
 		if r.simArrival > job.arrival {
 			job.arrival = r.simArrival
@@ -778,7 +851,7 @@ func (s *Server) dispatch(job *batchJob) {
 	live := make([]bool, len(s.pool.classes))
 	s.mu.Lock()
 	for c := range costs {
-		key := vkey{class: c, bucket: k}
+		key := vkey{class: c, bucket: job.bucket}
 		if cost, ok := job.t.costs[key]; ok {
 			costs[c] = cost
 			v := job.t.variants[key]
@@ -982,8 +1055,13 @@ func (s *Server) nearestDeadline(now time.Time) (time.Duration, bool) {
 // nextJob picks the next batch to dispatch, or nil when no tenant is
 // ready. A tenant is ready when a high-priority request is pending,
 // when its backlog fills its largest bucket, when any queued request's
-// deadline has passed, or when the server is flushing for Close. Among
-// ready tenants, smooth weighted round-robin decides who goes.
+// deadline has passed, when the server is flushing for Close, or — for
+// continuous-batching tenants — whenever anything is pending at all
+// (continuous formation is work-conserving: it sizes the batch from the
+// visible queue instead of holding it for a window). Among ready
+// tenants, smooth weighted round-robin decides who goes; the winner's
+// batch is sized by the strict bucket rule or, for adaptive tenants, by
+// the padded/continuous planner.
 func (s *Server) nextJob(now time.Time) *batchJob {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -992,7 +1070,7 @@ func (s *Server) nextJob(now time.Time) *batchJob {
 		if t.pending == 0 || t.removed {
 			continue
 		}
-		if s.flushing || len(t.queues[PriorityHigh]) > 0 || t.pending >= t.maxBucket() {
+		if (t.continuous && t.adaptive()) || s.flushing || len(t.queues[PriorityHigh]) > 0 || t.pending >= t.maxBucket() {
 			ready = append(ready, t)
 			continue
 		}
@@ -1021,9 +1099,20 @@ func (s *Server) nextJob(now time.Time) *batchJob {
 	// through the CompileJobs pool and nudging the scheduler when done
 	// — so the scheduler goroutine itself stays responsive (arrivals,
 	// Undeploy, Close) during a cold tenant's first compile. Warm
-	// avoids the stall entirely.
+	// avoids the stall entirely. Adaptive tenants price their whole
+	// ladder: the planner compares arbitrary rungs, and a plan made on a
+	// half-priced ladder would depend on compile timing.
 	allPriced := true
 	for _, t := range ready {
+		if t.adaptive() {
+			for _, b := range t.buckets {
+				if !s.bucketPricedLocked(t, b) {
+					s.ensurePricingLocked(t, b)
+					allPriced = false
+				}
+			}
+			continue
+		}
 		k := bucketFor(t.buckets, t.pending)
 		if !s.bucketPricedLocked(t, k) {
 			s.ensurePricingLocked(t, k)
@@ -1034,11 +1123,222 @@ func (s *Server) nextJob(now time.Time) *batchJob {
 		return nil
 	}
 	t := pickWRR(ready)
-	k := bucketFor(t.buckets, t.pending)
-	reqs := takeBatch(t, k, now)
+	var plan dispatchPlan
+	if t.adaptive() {
+		plan = s.planAdaptiveLocked(t, now)
+	} else {
+		k := bucketFor(t.buckets, t.pending)
+		plan = dispatchPlan{take: k, bucket: k}
+	}
+	reqs := takeBatch(t, plan.take, now)
 	t.pending -= len(reqs)
 	s.pendingTotal -= len(reqs)
-	return &batchJob{t: t, reqs: reqs}
+	return &batchJob{t: t, reqs: reqs, bucket: plan.bucket}
+}
+
+// dispatchPlan is one sizing decision: take rows off the queue, run
+// them on the bucket variant (bucket > take means zero-padded rows).
+type dispatchPlan struct {
+	take   int
+	bucket int
+}
+
+// planAdaptiveLocked sizes the next batch for a padding and/or
+// continuous-batching tenant (caller holds s.mu; the tenant's whole
+// bucket ladder is priced). Continuous formation first decides how many
+// visible rows to coalesce; the bucket decision then prices running
+// them padded on a larger rung against draining them as a strict chain.
+func (s *Server) planAdaptiveLocked(t *tenant, now time.Time) dispatchPlan {
+	t.planRuns++
+	n := t.pending
+	if m := t.maxBucket(); n > m {
+		n = m
+	}
+	vis := dispatchOrderLocked(t, n, now)
+	if t.continuous {
+		vis = vis[:s.formBatchLocked(t, vis)]
+	}
+	return s.chooseBucketLocked(t, vis)
+}
+
+// dispatchOrderLocked returns up to limit queued requests in exactly
+// the order takeBatch would drain them — expired deadlines first, then
+// priority-then-FIFO — without removing anything (caller holds s.mu).
+// The planner prices the very rows the dispatch will take.
+func dispatchOrderLocked(t *tenant, limit int, now time.Time) []*request {
+	reqs := make([]*request, 0, limit)
+	seen := make(map[*request]bool, limit)
+	for pass := 0; pass < 2; pass++ {
+		for _, pri := range priorityOrder {
+			for _, r := range t.queues[pri] {
+				if len(reqs) < limit && !seen[r] && (pass == 1 || !r.deadline.After(now)) {
+					seen[r] = true
+					reqs = append(reqs, r)
+				}
+			}
+		}
+	}
+	return reqs
+}
+
+// formBatchLocked is continuous batch formation: starting from the
+// first visible row, the batch absorbs the next queued arrival while
+// the modeled marginal gain of one more row is positive, and returns
+// the chosen row count. The gain of growing from m to m+1 rows is one
+// saved single-row launch (the absorbed row no longer needs its own
+// dispatch) plus the batch-cost delta c(m) − c(m+1), minus the extra
+// wait the m rows already in the batch would pay if the next row's
+// simulated arrival is later than the batch could start (its rows all
+// present and a worker modeled free). Zero-gain rows are absorbed too:
+// without padding, the chain-cost model plateaus exactly at bucket
+// boundaries (rows past a full rung chain as their own dispatches at
+// identical cost), and stopping there would wedge formation at the
+// first rung forever — only a row that costs real extra wait (or a
+// modeled loss) stops the scan. The scan is work-conserving: it
+// only weighs rows already queued, never holds the batch for traffic
+// that might arrive — so a continuous tenant's batch window is reduced
+// to the MaxWait default for its requests. An unpriceable ladder makes
+// the gain NaN, which stops the scan (strict fallback downstream).
+func (s *Server) formBatchLocked(t *tenant, vis []*request) int {
+	m := 1
+	if len(vis) <= m {
+		return len(vis)
+	}
+	c1 := s.dispatchCostLocked(t, 1)
+	minSched := s.pool.minSched()
+	arrMax := vis[0].simArrival
+	for m < len(vis) {
+		next := vis[m].simArrival
+		start := arrMax
+		if minSched > start {
+			start = minSched
+		}
+		extra := next - start
+		if extra < 0 {
+			extra = 0
+		}
+		gain := c1 + s.dispatchCostLocked(t, m) - s.dispatchCostLocked(t, m+1) - float64(m)*extra
+		if !(gain >= 0) { // NaN-safe: an Inf-cost ladder stops here too
+			break
+		}
+		if next > arrMax {
+			arrMax = next
+		}
+		m++
+	}
+	return m
+}
+
+// chooseBucketLocked decides how the chosen rows run: strictly (the
+// largest bucket not exceeding the row count — the pre-padding rule) or
+// padded onto a larger rung. Every larger compiled bucket is priced by
+// the same EFT preview the dispatcher uses, at the full larger
+// variant's cost; the strict alternative is the modeled makespan of
+// draining the rows as a greedy chain of exact buckets. Padding wins
+// only on a strictly earlier modeled completion — ties keep the strict
+// plan, so the padded path never changes a cost-neutral schedule.
+func (s *Server) chooseBucketLocked(t *tenant, vis []*request) dispatchPlan {
+	n := len(vis)
+	k := bucketFor(t.buckets, n)
+	strict := dispatchPlan{take: k, bucket: k}
+	if !t.pad {
+		return strict
+	}
+	arr := 0.0
+	for _, r := range vis {
+		if r.simArrival > arr {
+			arr = r.simArrival
+		}
+	}
+	padBucket, padFinish := 0, math.Inf(1)
+	for _, b := range t.buckets {
+		if b <= n {
+			continue
+		}
+		if fin := s.pool.previewFinish(s.classCostsLocked(t, b), arr); fin < padFinish {
+			padBucket, padFinish = b, fin
+		}
+	}
+	if padBucket == 0 || !(padFinish < s.chainFinishLocked(t, vis)) {
+		return strict
+	}
+	return dispatchPlan{take: n, bucket: padBucket}
+}
+
+// chainFinishLocked prices the strict counterfactual for a set of rows:
+// decompose them greedily into exact buckets (in dispatch order, each
+// segment arriving with its latest member) and EFT-place the chain on a
+// scratch copy of the pool's finish times (caller holds s.mu).
+func (s *Server) chainFinishLocked(t *tenant, vis []*request) float64 {
+	var costSets [][]float64
+	var arrivals []float64
+	for i := 0; i < len(vis); {
+		k := bucketFor(t.buckets, len(vis)-i)
+		arr := 0.0
+		for _, r := range vis[i : i+k] {
+			if r.simArrival > arr {
+				arr = r.simArrival
+			}
+		}
+		costSets = append(costSets, s.classCostsLocked(t, k))
+		arrivals = append(arrivals, arr)
+		i += k
+	}
+	return s.pool.chainFinish(costSets, arrivals)
+}
+
+// classCostsLocked returns the tenant's memoized per-class costs for a
+// bucket, +Inf where pricing resolved with a failed compile (caller
+// holds s.mu; the planner only runs on fully priced ladders).
+func (s *Server) classCostsLocked(t *tenant, b int) []float64 {
+	costs := make([]float64, len(s.pool.classes))
+	for c := range costs {
+		if cost, ok := t.costs[vkey{class: c, bucket: b}]; ok {
+			costs[c] = cost
+		} else {
+			costs[c] = math.Inf(1)
+		}
+	}
+	return costs
+}
+
+// minClassCostLocked is the cheapest class's memoized cost for a bucket
+// (+Inf when no class priced it), the planner's device-agnostic cost of
+// one launch (caller holds s.mu).
+func (s *Server) minClassCostLocked(t *tenant, b int) float64 {
+	best := math.Inf(1)
+	for c := range s.pool.classes {
+		if cost, ok := t.costs[vkey{class: c, bucket: b}]; ok && cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// dispatchCostLocked is the modeled cost of draining m rows in one
+// dispatch decision (caller holds s.mu): with padding, the cheapest
+// rung that fits them all; without, the summed cost of the greedy
+// exact-bucket chain they would dispatch as.
+func (s *Server) dispatchCostLocked(t *tenant, m int) float64 {
+	if t.pad {
+		best := math.Inf(1)
+		for _, b := range t.buckets {
+			if b < m {
+				continue
+			}
+			if c := s.minClassCostLocked(t, b); c < best {
+				best = c
+			}
+		}
+		return best
+	}
+	total := 0.0
+	for m > 0 {
+		k := bucketFor(t.buckets, m)
+		total += s.minClassCostLocked(t, k)
+		m -= k
+	}
+	return total
 }
 
 // takeBatch drains up to k of a tenant's queued requests. Requests
@@ -1205,12 +1505,16 @@ func (s *Server) evictLocked(t *tenant, class int, keep *variant) {
 // simulated arrival — mirroring the EFT model exactly, so the clock
 // converges to the scheduler's committed finish times.
 func (s *Server) runBatch(id int, job batchJob) {
-	k := len(job.reqs)
-	v := s.variantFor(job.t, job.class, k)
+	n := len(job.reqs)
+	b := job.bucket
+	if b < n {
+		b = n
+	}
+	v := s.variantFor(job.t, job.class, b)
 	var outs []*tensor.Tensor
 	err := v.err
 	if err == nil {
-		outs, err = execBatch(v.mod, job.reqs)
+		outs, err = execBatch(v.mod, job.reqs, b)
 	}
 	s.mu.Lock()
 	// Advance the clock by the cost the scheduler committed to its
@@ -1238,7 +1542,12 @@ func (s *Server) runBatch(id int, job batchJob) {
 		st = &s.retired
 	}
 	st.batches++
-	st.batchSizes[k]++
+	st.batchSizes[b]++
+	if b > n {
+		st.paddedBatches++
+		st.paddedRows += int64(b - n)
+		s.workerPadded[id]++
+	}
 	if doneAt > st.simMakespan {
 		st.simMakespan = doneAt
 	}
@@ -1254,7 +1563,7 @@ func (s *Server) runBatch(id int, job batchJob) {
 			Err:        err,
 			Model:      job.t.name,
 			Priority:   r.priority,
-			Batch:      k,
+			Batch:      b,
 			Worker:     id,
 			Device:     device,
 			SimArrival: r.simArrival,
@@ -1267,34 +1576,52 @@ func (s *Server) runBatch(id int, job batchJob) {
 	}
 }
 
-// execBatch stacks the requests' inputs into batch tensors, runs the
-// variant on a pooled execution state, and splits the output back into
-// per-request tensors. Runtime panics (shape mismatches surface that
-// way in this codebase) are converted into request errors rather than
-// taking the worker down.
-func execBatch(mod *rt.Module, reqs []*request) (outs []*tensor.Tensor, err error) {
+// execBatch stacks the requests' inputs into batch tensors (zero-padded
+// to bucket rows when the planner chose a larger variant), runs the
+// variant on a pooled execution state, and splits the real rows back
+// into per-request tensors — padding rows never reach a caller, and the
+// real rows are bit-identical to an unpadded run because every operator
+// is row-independent along the batch dimension. Runtime panics (shape
+// mismatches surface that way in this codebase) are converted into
+// request errors rather than taking the worker down.
+func execBatch(mod *rt.Module, reqs []*request, bucket int) (outs []*tensor.Tensor, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			outs, err = nil, fmt.Errorf("serve: batch execution failed: %v", p)
 		}
 	}()
+	n := len(reqs)
 	batchIn := make(map[string]*tensor.Tensor, len(reqs[0].inputs))
 	for name := range reqs[0].inputs {
-		if len(reqs) == 1 {
-			batchIn[name] = reqs[0].inputs[name]
-			continue
-		}
-		samples := make([]*tensor.Tensor, len(reqs))
-		for i, r := range reqs {
-			s, ok := r.inputs[name]
-			if !ok {
-				return nil, fmt.Errorf("serve: request %d in batch is missing input %q", i, name)
+		var stacked *tensor.Tensor
+		if n == 1 {
+			stacked = reqs[0].inputs[name]
+		} else {
+			samples := make([]*tensor.Tensor, len(reqs))
+			for i, r := range reqs {
+				s, ok := r.inputs[name]
+				if !ok {
+					return nil, fmt.Errorf("serve: request %d in batch is missing input %q", i, name)
+				}
+				samples[i] = s
 			}
-			samples[i] = s
+			stacked = tensor.StackBatch(samples)
 		}
-		batchIn[name] = tensor.StackBatch(samples)
+		if bucket > n {
+			stacked = tensor.PadBatch(stacked, bucket)
+		}
+		batchIn[name] = stacked
 	}
-	outs = make([]*tensor.Tensor, len(reqs))
+	outs = make([]*tensor.Tensor, n)
+	if bucket > n {
+		// Padded run: RunRows strips the output back to the real rows
+		// (pooled state handled inside, like Run).
+		out := mod.RunRows(batchIn, n)
+		for i := range reqs {
+			outs[i] = tensor.SliceBatch(out, i)
+		}
+		return outs, nil
+	}
 	if mod.Plan == nil {
 		// Hand-built module without a memory plan: clone-based path.
 		out := mod.Run(batchIn)

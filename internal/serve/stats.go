@@ -61,6 +61,10 @@ type DeviceStats struct {
 	Device string
 	// Batches counts batches dispatched to this worker.
 	Batches int64
+	// PaddedBatches counts this worker's batches that ran on a bucket
+	// larger than their real row count (zero-padded rows filled the
+	// rest). Sums to the aggregate Stats.PaddedBatches.
+	PaddedBatches int64
 	// BusySeconds is the simulated time this worker spent executing
 	// (the sum of its batches' modeled costs).
 	BusySeconds float64
@@ -81,7 +85,14 @@ type Stats struct {
 	// Evictions counts compiled variants dropped by the per-tenant LRU
 	// budget (DeployOptions.MaxVariantBytes).
 	Evictions int64
-	// BatchSizes histograms dispatched batch sizes.
+	// PaddedBatches counts batches that ran on a bucket larger than
+	// their real row count (DeployOptions.AllowPadding dispatches).
+	PaddedBatches int64
+	// PaddedRows counts the zero-padding rows across those batches —
+	// the modeled compute spent buying earlier schedule slots.
+	PaddedRows int64
+	// BatchSizes histograms dispatched batch sizes (padded batches count
+	// under the bucket they ran on, not their real row count).
 	BatchSizes map[int]int64
 	// Variants lists the bucket sizes with a live compiled variant on
 	// at least one device class (evicted variants drop out until

@@ -40,6 +40,42 @@ func StackBatch(samples []*Tensor) *Tensor {
 	return out
 }
 
+// PadBatch zero-pads a batch tensor's leading dim up to rows — the
+// padded-dispatch step that lets a partial batch run on a larger
+// compiled bucket's variant. Rows beyond the real samples are zero,
+// which every row-independent operator maps to more (ignorable) zero
+// rows. When the tensor already has rows samples it is returned as is.
+func PadBatch(t *Tensor, rows int) *Tensor {
+	if len(t.shape) == 0 || t.shape[0] > rows {
+		panic(fmt.Sprintf("tensor: PadBatch shape %v does not fit in %d rows", t.shape, rows))
+	}
+	if t.shape[0] == rows {
+		return t
+	}
+	shape := t.shape.Clone()
+	shape[0] = rows
+	out := NewWithLayout(t.dtype, t.layout, shape...)
+	copy(out.data, t.data) // the tail stays zero
+	return out
+}
+
+// StripBatch copies the first rows samples of a batch tensor into a
+// fresh tensor — the inverse of PadBatch on the output side, dropping
+// the padding rows a padded run produced. The result always owns its
+// data (like SliceBatch), so it stays valid after the batch tensor's
+// arena is recycled.
+func StripBatch(t *Tensor, rows int) *Tensor {
+	if rows < 1 || len(t.shape) == 0 || rows > t.shape[0] {
+		panic(fmt.Sprintf("tensor: StripBatch of %d rows out of range for shape %v", rows, t.shape))
+	}
+	shape := t.shape.Clone()
+	shape[0] = rows
+	out := &Tensor{shape: shape, dtype: t.dtype, layout: t.layout}
+	per := sampleElems(t)
+	out.data = append([]float32(nil), t.data[:rows*per]...)
+	return out
+}
+
 // SliceBatch copies sample i of a batch tensor out into a fresh
 // leading-dim-1 tensor — the batcher's response-splitting step. The
 // result owns its data, so it stays valid after the batch tensor's

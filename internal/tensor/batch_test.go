@@ -1,0 +1,84 @@
+package tensor
+
+import "testing"
+
+// TestStackSliceRoundTrip pins the batcher's coalescing round trip:
+// stacking samples and slicing them back is lossless, and the slices
+// own their data.
+func TestStackSliceRoundTrip(t *testing.T) {
+	samples := make([]*Tensor, 3)
+	for i := range samples {
+		samples[i] = New(FP32, 1, 4)
+		samples[i].FillRandom(int64(i+1), 1)
+	}
+	batch := StackBatch(samples)
+	if !batch.Shape().Equal(Shape{3, 4}) {
+		t.Fatalf("stacked shape %v, want (3, 4)", batch.Shape())
+	}
+	for i, s := range samples {
+		got := SliceBatch(batch, i)
+		for j, v := range s.Data() {
+			if got.Data()[j] != v {
+				t.Fatalf("sample %d differs at %d", i, j)
+			}
+		}
+		// The slice owns its data: mutating it must not touch the batch.
+		got.Data()[0] += 1
+		if batch.Data()[i*4] == got.Data()[0] {
+			t.Fatalf("sample %d aliases the batch tensor", i)
+		}
+	}
+}
+
+// TestPadStripBatch pins the padded-dispatch helpers: PadBatch
+// zero-fills the extra rows (and is the identity at the exact size),
+// StripBatch drops them again, and the strip owns its data.
+func TestPadStripBatch(t *testing.T) {
+	samples := make([]*Tensor, 3)
+	for i := range samples {
+		samples[i] = New(FP32, 1, 4)
+		samples[i].FillRandom(int64(i+1), 1)
+	}
+	batch := StackBatch(samples)
+	padded := PadBatch(batch, 8)
+	if !padded.Shape().Equal(Shape{8, 4}) {
+		t.Fatalf("padded shape %v, want (8, 4)", padded.Shape())
+	}
+	for j, v := range batch.Data() {
+		if padded.Data()[j] != v {
+			t.Fatalf("padded batch differs from real rows at %d", j)
+		}
+	}
+	for j := 3 * 4; j < 8*4; j++ {
+		if padded.Data()[j] != 0 {
+			t.Fatalf("padding row element %d = %g, want 0", j, padded.Data()[j])
+		}
+	}
+	if PadBatch(batch, 3) != batch {
+		t.Error("PadBatch at the exact size must return the tensor unchanged")
+	}
+
+	stripped := StripBatch(padded, 3)
+	if !stripped.Shape().Equal(Shape{3, 4}) {
+		t.Fatalf("stripped shape %v, want (3, 4)", stripped.Shape())
+	}
+	for j, v := range batch.Data() {
+		if stripped.Data()[j] != v {
+			t.Fatalf("stripped batch differs at %d", j)
+		}
+	}
+	// StripBatch copies even at the full size (the input may be an
+	// arena view about to be recycled).
+	full := StripBatch(padded, 8)
+	full.Data()[0] += 1
+	if padded.Data()[0] == full.Data()[0] {
+		t.Error("StripBatch at full size aliases the input")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("PadBatch shrinking the batch must panic")
+		}
+	}()
+	PadBatch(padded, 2)
+}

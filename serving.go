@@ -114,6 +114,20 @@ type DeployOptions struct {
 	// evicted (ServeStats.Evictions) and recompile on next use through
 	// the tuning log, measurement-free. Zero means unbounded.
 	MaxVariantBytes int64
+	// AllowPadding lets the scheduler run a partial batch on a larger
+	// compiled bucket with zero-padded rows whenever the cost model says
+	// the padded run finishes earlier than draining the rows as a strict
+	// chain of exact buckets. Padded outputs are stripped back to the
+	// real rows (bit-identical to an unpadded run); ServeStats counts
+	// the padded batches and rows. Ignored for single-bucket models.
+	AllowPadding bool
+	// ContinuousBatching replaces the batch-window formation rule for
+	// this model: a forming batch absorbs queued arrivals while the
+	// modeled marginal gain of one more row is positive, then
+	// dispatches — work-conserving, so BatchWindow degrades to the
+	// MaxWait default for this model's requests. Ignored for
+	// single-bucket models.
+	ContinuousBatching bool
 }
 
 // Server is the multi-tenant serving endpoint: several models share
@@ -212,10 +226,12 @@ func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
 		return res.Module, nil
 	}
 	return s.srv.DeployOn(name, compile, serve.DeployOptions{
-		Buckets:         opts.Buckets,
-		Weight:          opts.Weight,
-		BatchWindow:     opts.BatchWindow,
-		MaxVariantBytes: opts.MaxVariantBytes,
+		Buckets:            opts.Buckets,
+		Weight:             opts.Weight,
+		BatchWindow:        opts.BatchWindow,
+		MaxVariantBytes:    opts.MaxVariantBytes,
+		AllowPadding:       opts.AllowPadding,
+		ContinuousBatching: opts.ContinuousBatching,
 	})
 }
 
@@ -311,6 +327,12 @@ type ServeOptions struct {
 	CacheFile string
 	// Jobs is the profiling pool width for variant compiles.
 	Jobs int
+	// AllowPadding enables padded-bucket dispatch for the engine's model
+	// (see DeployOptions.AllowPadding).
+	AllowPadding bool
+	// ContinuousBatching enables modeled marginal-gain batch formation
+	// (see DeployOptions.ContinuousBatching).
+	ContinuousBatching bool
 }
 
 // NewEngine starts a single-model serving engine: a thin wrapper over
@@ -329,7 +351,11 @@ func NewEngine(g *Graph, dev *Device, opts ServeOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := srv.Deploy(serve.EngineModel, g, DeployOptions{Buckets: opts.Buckets}); err != nil {
+	if err := srv.Deploy(serve.EngineModel, g, DeployOptions{
+		Buckets:            opts.Buckets,
+		AllowPadding:       opts.AllowPadding,
+		ContinuousBatching: opts.ContinuousBatching,
+	}); err != nil {
 		srv.Close()
 		return nil, err
 	}
