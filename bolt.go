@@ -114,6 +114,18 @@ type Options struct {
 	// reports the pool's critical path (max across workers), so more
 	// jobs means honestly less simulated tuning time. Values < 1 mean 1.
 	Jobs int
+	// TopK, when > 0, enables guided tuning: the cost model persisted
+	// in CacheFile ranks each workload's candidates and only the k
+	// best are measured. Requires CacheFile (the model lives in the
+	// tuning log); until the model has trained, sweeps stay full. The
+	// default (0) is the unchanged full sweep.
+	TopK int
+	// TrustThreshold, when > 0, lets sufficiently confident models skip
+	// measurement entirely: once the cost model's held-out
+	// rank-correlation confidence reaches the threshold, workloads
+	// resolve to the predicted-best config with zero measurements, and
+	// their tunelog entries are flagged predicted. Requires CacheFile.
+	TrustThreshold float64
 }
 
 // CompileResult bundles the module with tuning metadata.
@@ -186,6 +198,9 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 		if opts.Jobs > 1 {
 			return nil, fmt.Errorf("bolt: Options.Jobs is not supported with Baseline: the Ansor-style search has no profiling pool")
 		}
+		if opts.TopK > 0 || opts.TrustThreshold > 0 {
+			return nil, fmt.Errorf("bolt: guided tuning (TopK/TrustThreshold) is not supported with Baseline: the Ansor-style search has its own internal cost model")
+		}
 		relay.FoldBatchNorm(g)
 		relay.FuseEpilogue(g)
 		trials := opts.BaselineTrials
@@ -207,6 +222,9 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 		return &CompileResult{Module: m, TuningTime: clock.ElapsedDuration()}, nil
 	}
 
+	if (opts.TopK > 0 || opts.TrustThreshold > 0) && opts.CacheFile == "" {
+		return nil, fmt.Errorf("bolt: guided tuning (TopK=%d, TrustThreshold=%g) requires Options.CacheFile: the cost model persists in the tuning log", opts.TopK, opts.TrustThreshold)
+	}
 	var cache *tunelog.Log
 	if opts.CacheFile != "" {
 		var err error
@@ -214,7 +232,13 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 			return nil, err
 		}
 	}
-	res, err := compileTemplated(g, dev, cache, opts.Jobs, opts.EmitSource)
+	res, err := compileTemplated(g, dev, templatedConfig{
+		cache:          cache,
+		jobs:           opts.Jobs,
+		emitSource:     opts.EmitSource,
+		topK:           opts.TopK,
+		trustThreshold: opts.TrustThreshold,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -226,24 +250,37 @@ func Compile(g *Graph, dev *Device, opts Options) (*CompileResult, error) {
 	return res, nil
 }
 
+// templatedConfig parameterizes one templated compile: the shared
+// tuning log (nil for no cache, no guidance), the profiling pool
+// width, and the guided-tuning knobs.
+type templatedConfig struct {
+	cache          *tunelog.Log
+	jobs           int
+	emitSource     bool
+	topK           int
+	trustThreshold float64
+}
+
 // compileTemplated is the templated (non-baseline) pipeline over an
 // in-memory tuning log: graph optimization, profiling through the
 // log, code generation, and the module-build charge. Compile wraps it
 // with CacheFile load/save; the serving Server calls it directly with
 // a log it loaded once and shares across every tenant's variant
 // compiles.
-func compileTemplated(g *Graph, dev *Device, cache *tunelog.Log, jobs int, emitSource bool) (*CompileResult, error) {
+func compileTemplated(g *Graph, dev *Device, cfg templatedConfig) (*CompileResult, error) {
 	var clock gpu.Clock
 	if err := relay.Optimize(g, dev); err != nil {
 		return nil, err
 	}
 	p := profiler.New(dev, &clock)
 	m, err := codegen.Compile(g, dev, codegen.Options{
-		Tuner:      codegen.TunerBolt,
-		Profiler:   p,
-		Log:        cache,
-		Jobs:       jobs,
-		EmitSource: emitSource,
+		Tuner:          codegen.TunerBolt,
+		Profiler:       p,
+		Log:            cfg.cache,
+		Jobs:           cfg.jobs,
+		TopK:           cfg.topK,
+		TrustThreshold: cfg.trustThreshold,
+		EmitSource:     cfg.emitSource,
 	})
 	if err != nil {
 		return nil, err

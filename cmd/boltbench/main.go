@@ -49,11 +49,12 @@ func main() {
 	if *quick {
 		s = bench.NewQuickSuite(dev)
 	}
-	// The serving experiments double as the PR-3..PR-6 CI artifacts.
+	// The serving experiments double as the PR-3..PR-7 CI artifacts.
 	s.ServingArtifact = "BENCH_pr3.json"
 	s.MultiModelArtifact = "BENCH_pr4.json"
 	s.HeteroArtifact = "BENCH_pr5.json"
 	s.PaddingArtifact = "BENCH_pr6.json"
+	s.ColdstartArtifact = "BENCH_pr7.json"
 	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
 
 	regen := func(id string) func() *bench.Table {

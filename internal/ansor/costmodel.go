@@ -1,6 +1,10 @@
 package ansor
 
-import "math"
+import (
+	"math"
+
+	"bolt/internal/costmodel"
+)
 
 // costModel is the learned performance model: ridge regression over
 // schedule features predicting log throughput, retrained as
@@ -40,61 +44,13 @@ func (c *costModel) observe(f []float64, gflops float64) {
 	c.targets = append(c.targets, math.Log(gflops+1e-9))
 }
 
-// fit solves (X'X + lambda I) w = X'y by Gaussian elimination.
+// fit solves the ridge system through the shared costmodel solver
+// (the same Gaussian elimination this package originally carried);
+// with fewer samples than features the previous weights are kept.
 func (c *costModel) fit() {
-	n := numFeatures
-	if len(c.feats) < n {
-		return
+	if w := costmodel.Solve(c.feats, c.targets, c.lambda); w != nil {
+		c.weights = w
 	}
-	a := make([][]float64, n)
-	b := make([]float64, n)
-	for i := range a {
-		a[i] = make([]float64, n)
-		a[i][i] = c.lambda
-	}
-	for r, f := range c.feats {
-		y := c.targets[r]
-		for i := 0; i < n; i++ {
-			b[i] += f[i] * y
-			for j := 0; j < n; j++ {
-				a[i][j] += f[i] * f[j]
-			}
-		}
-	}
-	// Gaussian elimination with partial pivoting.
-	for col := 0; col < n; col++ {
-		piv := col
-		for r := col + 1; r < n; r++ {
-			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
-				piv = r
-			}
-		}
-		a[col], a[piv] = a[piv], a[col]
-		b[col], b[piv] = b[piv], b[col]
-		if math.Abs(a[col][col]) < 1e-12 {
-			continue
-		}
-		for r := col + 1; r < n; r++ {
-			f := a[r][col] / a[col][col]
-			for j := col; j < n; j++ {
-				a[r][j] -= f * a[col][j]
-			}
-			b[r] -= f * b[col]
-		}
-	}
-	w := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		sum := b[i]
-		for j := i + 1; j < n; j++ {
-			sum -= a[i][j] * w[j]
-		}
-		if math.Abs(a[i][i]) < 1e-12 {
-			w[i] = 0
-		} else {
-			w[i] = sum / a[i][i]
-		}
-	}
-	c.weights = w
 }
 
 // predict scores a feature vector; higher is better. Before any fit,

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"bolt/internal/codegen"
+	"bolt/internal/gpu"
+	"bolt/internal/models"
+	"bolt/internal/profiler"
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+	"bolt/internal/tunelog"
+)
+
+// The coldstart experiment is the PR-7 ablation: what does cost-model
+// guidance buy on a cold tuning log? On each device class (T4 and
+// A100) a full sweep of ResNet-18 trains the log's cost model; the
+// trained model is then transferred into fresh *entry-free* logs — the
+// warm-process/cold-workload scenario — and the same model is compiled
+// again under top-k guidance and under the predict-only trust gate.
+// Everything is noise-free and single-seeded, so the artifact is
+// byte-stable across runs. It emits BENCH_pr7.json for CI.
+
+// coldstartTopK is the guided arm's per-workload measurement budget.
+const coldstartTopK = 8
+
+// coldstartRow is one (device, arm) compile.
+type coldstartRow struct {
+	Device string `json:"device"`
+	Arm    string `json:"arm"`
+	// Budget is the per-workload measurement cap (0 = unbounded).
+	Budget             int     `json:"budget"`
+	ProfiledWorkloads  int     `json:"profiled_workloads"`
+	Measurements       int     `json:"measurements"`
+	Enumerated         int     `json:"enumerated_candidates"`
+	PredictedWorkloads int     `json:"predicted_workloads"`
+	TuningSeconds      float64 `json:"tuning_seconds"`
+	// TuningVsFull is this arm's tuning cost relative to the same
+	// device's full sweep (CI enforces <= 0.5 for the guided arms).
+	TuningVsFull float64 `json:"tuning_vs_full"`
+	ModuleUs     float64 `json:"module_us"`
+	// SlowdownVsFull compares end-to-end modeled module time against
+	// the full sweep's picks (CI enforces <= 1.05).
+	SlowdownVsFull  float64 `json:"slowdown_vs_full"`
+	PredictionError float64 `json:"prediction_error"`
+}
+
+// coldstartDevice is one device's arm set plus its model confidence.
+type coldstartDevice struct {
+	Device     string         `json:"device"`
+	Confidence float64        `json:"confidence"`
+	Trust      float64        `json:"trust_threshold"`
+	Rows       []coldstartRow `json:"rows"`
+}
+
+// coldstartArtifact is the BENCH_pr7.json schema.
+type coldstartArtifact struct {
+	Model   string            `json:"model"`
+	TopK    int               `json:"top_k"`
+	Devices []coldstartDevice `json:"devices"`
+}
+
+// coldstartCompile runs the templated pipeline for ResNet-18 against
+// the given log with the guidance knobs set.
+func (s *Suite) coldstartCompile(dev *gpu.Device, log *tunelog.Log, topK int, trust float64) *rt.Module {
+	g := models.ResNet(18, s.Batch)
+	if err := relay.Optimize(g, dev); err != nil {
+		panic(err)
+	}
+	p := profiler.New(dev, nil)
+	p.Measure.NoiseStdDev = 0
+	m, err := codegen.Compile(g, dev, codegen.Options{
+		Tuner: codegen.TunerBolt, Profiler: p, Log: log,
+		Jobs: 4, TopK: topK, TrustThreshold: trust,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (s *Suite) runColdstart() coldstartArtifact {
+	art := coldstartArtifact{
+		Model: fmt.Sprintf("resnet18-b%d", s.Batch),
+		TopK:  coldstartTopK,
+	}
+	for _, dev := range []*gpu.Device{gpu.T4(), gpu.A100()} {
+		// Arm 1: the cold full sweep. Its measurements train the log's
+		// cost model, and its tuning bill and kernel picks are the
+		// baselines the guided arms are judged against.
+		trainLog := tunelog.New()
+		full := s.coldstartCompile(dev, trainLog, 0, 0)
+		conf := trainLog.Model.Confidence()
+		trust := conf * 0.9
+
+		// The guided arms get the trained model but none of the cache
+		// entries: fresh logs, model transferred — exactly what a warm
+		// process sees when a new model's workloads arrive.
+		coldLog := func() *tunelog.Log {
+			l := tunelog.New()
+			l.Model.Ingest(trainLog.Model)
+			return l
+		}
+		topk := s.coldstartCompile(dev, coldLog(), coldstartTopK, 0)
+		predict := s.coldstartCompile(dev, coldLog(), 0, trust)
+
+		row := func(arm string, budget int, m *rt.Module) coldstartRow {
+			st := m.Tuning
+			r := coldstartRow{
+				Device: dev.Name, Arm: arm, Budget: budget,
+				ProfiledWorkloads:  st.ProfiledWorkloads,
+				Measurements:       st.Measurements,
+				Enumerated:         st.EnumeratedCandidates,
+				PredictedWorkloads: st.PredictedWorkloads,
+				TuningSeconds:      st.TuningSeconds,
+				ModuleUs:           m.Time() * 1e6,
+				PredictionError:    st.PredictionError,
+			}
+			if fs := full.Tuning.TuningSeconds; fs > 0 {
+				r.TuningVsFull = st.TuningSeconds / fs
+			}
+			r.SlowdownVsFull = m.Time() / full.Time()
+			return r
+		}
+		art.Devices = append(art.Devices, coldstartDevice{
+			Device: dev.Name, Confidence: conf, Trust: trust,
+			Rows: []coldstartRow{
+				row("full sweep", 0, full),
+				row(fmt.Sprintf("top-%d", coldstartTopK), coldstartTopK, topk),
+				row("predict-only", 0, predict),
+			},
+		})
+	}
+	return art
+}
+
+// Coldstart reproduces the cost-model-guided cold-compile study: a
+// full sweep trains the tunelog's cost model, then the same model is
+// recompiled against entry-free logs under top-k guidance and the
+// predict-only trust gate, on both device classes. When
+// Suite.ColdstartArtifact is set, the raw numbers are also written
+// there as JSON (boltbench points it at BENCH_pr7.json).
+func (s *Suite) Coldstart() *Table {
+	art := s.runColdstart()
+	t := &Table{
+		ID:      "coldstart",
+		Title:   fmt.Sprintf("Cost-model-guided cold compile: %s, trained model vs entry-free tuning log", art.Model),
+		Columns: []string{"device", "arm", "measured/enumerated", "predicted wl", "tuning s", "vs full", "module us", "slowdown"},
+		Notes: []string{
+			"the full sweep trains the log's ridge cost model; guided arms transfer only the model into fresh entry-free logs (warm process, cold workloads)",
+			fmt.Sprintf("top-%d measures at most %d candidates per workload; predict-only resolves every workload measurement-free once held-out rank confidence clears the trust gate", coldstartTopK, coldstartTopK),
+			"CI enforces: guided arms tune at <= 0.5x the full sweep with chosen kernels within 1.05x, and predict-only performs zero measurements",
+		},
+	}
+	for _, d := range art.Devices {
+		for _, r := range d.Rows {
+			t.AddRow(r.Device, r.Arm,
+				fmt.Sprintf("%d/%d", r.Measurements, r.Enumerated),
+				fmt.Sprint(r.PredictedWorkloads),
+				f1(r.TuningSeconds), f2(r.TuningVsFull),
+				f1(r.ModuleUs), f2(r.SlowdownVsFull))
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s model confidence %.3f (trust gate set to %.3f)", d.Device, d.Confidence, d.Trust))
+	}
+	if s.ColdstartArtifact != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(s.ColdstartArtifact, append(data, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}

@@ -45,6 +45,10 @@ type Suite struct {
 	// PaddingArtifact, when set, is where the padding experiment writes
 	// its JSON artifact (boltbench points it at BENCH_pr6.json).
 	PaddingArtifact string
+	// ColdstartArtifact, when set, is where the cost-model-guided
+	// cold-compile experiment writes its JSON artifact (boltbench points
+	// it at BENCH_pr7.json).
+	ColdstartArtifact string
 
 	seed     int64
 	e2eCache []e2eResult

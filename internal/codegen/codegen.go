@@ -54,6 +54,19 @@ type Options struct {
 	// Jobs is the profiling pool width (TunerBolt). Values < 1 mean 1.
 	Jobs int
 
+	// TopK, when > 0, limits guided profiling to the cost model's k
+	// best-ranked candidates per workload (TunerBolt). Requires a model
+	// source: either the profiler carries one (Profiler.Guide.Model) or
+	// Log does. Until the model has trained, sweeps stay full.
+	TopK int
+
+	// TrustThreshold, when > 0, skips measurement entirely for a
+	// workload once the model's held-out rank-correlation confidence
+	// reaches it, emitting the predicted-best config as a
+	// measurement-free tunelog entry. Same model-source requirement as
+	// TopK. 0 means never skip.
+	TrustThreshold float64
+
 	// AnsorTuner and AnsorTrials are required for TunerAnsor; trials is
 	// the measured-candidate budget per distinct workload ("task").
 	AnsorTuner  *ansor.Tuner

@@ -77,20 +77,37 @@ func extractWorkloads(g *relay.Graph, dev *gpu.Device) (unique []tuningTask, tot
 	return unique, total
 }
 
-// candidateNames enumerates the distinct sample programs a task's
-// search would build (stage 3's shared pre-generation set).
-func candidateNames(p *profiler.Profiler, t tuningTask) []string {
-	var cfgs []cutlass.GemmConfig
+// planTask computes a task's guided profiling plan (which candidates
+// to measure, or a measurement-free predicted pick). The planner's
+// model is frozen for the whole planning pass, so plans are
+// independent of pool width and task order.
+func planTask(p *profiler.Profiler, t tuningTask) (profiler.Plan, error) {
 	if t.isConv {
-		cfgs = p.ConvCandidates(t.conv)
-	} else {
-		cfgs = p.GemmCandidates(t.gemm)
+		return p.PlanConv(t.conv)
 	}
-	names := make([]string, len(cfgs))
-	for i, c := range cfgs {
-		names[i] = c.Name()
+	return p.PlanGemm(t.gemm)
+}
+
+// guidanceFor resolves the pipeline's effective guidance: the
+// profiler's own model if it carries one, else the tuning log's
+// persistent model; knob overrides come from Options. An error is
+// returned when guided knobs are requested with no model to guide by —
+// silently falling back to full sweeps would misreport the run.
+func guidanceFor(opts Options) (profiler.Guidance, error) {
+	g := opts.Profiler.Guide
+	if g.Model == nil && opts.Log != nil {
+		g.Model = opts.Log.Model
 	}
-	return names
+	if opts.TopK > 0 {
+		g.TopK = opts.TopK
+	}
+	if opts.TrustThreshold > 0 {
+		g.TrustThreshold = opts.TrustThreshold
+	}
+	if (g.TopK > 0 || g.TrustThreshold > 0) && g.Model == nil {
+		return profiler.Guidance{}, fmt.Errorf("codegen: guided tuning (TopK=%d, TrustThreshold=%g) needs a cost model: attach one to the profiler or pass a tuning log", g.TopK, g.TrustThreshold)
+	}
+	return g, nil
 }
 
 // cacheUsable reports whether a cached config can actually lower the
@@ -112,7 +129,12 @@ func cacheUsable(e tunelog.Entry, t tuningTask, dev *gpu.Device) bool {
 // profiler's clock with the pipeline's critical-path cost.
 func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunelog.Key]profiler.Result, rt.TuningStats, error) {
 	proto := opts.Profiler
-	var stats rt.TuningStats
+	stats := rt.TuningStats{PredictionError: -1}
+
+	guide, err := guidanceFor(opts)
+	if err != nil {
+		return nil, stats, err
+	}
 
 	// Stage 1: extraction.
 	unique, total := extractWorkloads(g, dev)
@@ -125,7 +147,7 @@ func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunel
 	for _, t := range unique {
 		if opts.Log != nil {
 			if e, ok := opts.Log.Lookup(t.key); ok && cacheUsable(e, t, dev) {
-				resolved[t.key] = profiler.Result{Config: e.Config, Time: e.TimeSeconds}
+				resolved[t.key] = profiler.Result{Config: e.Config, Time: e.TimeSeconds, Predicted: e.Predicted}
 				stats.CacheHits++
 				continue
 			}
@@ -134,6 +156,19 @@ func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunel
 	}
 	if len(pending) == 0 {
 		return resolved, stats, nil
+	}
+
+	// Stage 2.5: planning. Every task's measurement plan is computed
+	// upfront against a frozen cost model (Predict uses the last Fit;
+	// workers only Observe), so the plans — and therefore kernel
+	// selection — are independent of pool width and completion order.
+	planner := proto.Worker(nil, nil)
+	planner.Guide = guide
+	plans := make([]profiler.Plan, len(pending))
+	for i, t := range pending {
+		if plans[i], err = planTask(planner, t); err != nil {
+			return nil, stats, fmt.Errorf("planning %s: %w", t.key, err)
+		}
 	}
 
 	// jobs is the requested pool width; the measurement pool below
@@ -150,15 +185,17 @@ func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunel
 		poolJobs = len(pending)
 	}
 
-	// Stage 3a: shared sample-program generation. Templates are
-	// compiled once per distinct config — never per workload, never per
-	// worker — and the nvcc invocations are independent, so the stage's
-	// cost is the parallel critical path over the worker count.
+	// Stage 3a: shared sample-program generation — only for templates a
+	// plan actually measures. Guidance that prunes a candidate also
+	// prunes its nvcc invocation, which is where most of the cold-start
+	// cost lives. Templates are compiled once per distinct config, and
+	// the invocations are independent, so the stage's cost is the
+	// parallel critical path over the worker count.
 	distinct := make(map[string]bool)
 	var names []string
-	for _, t := range pending {
-		for _, name := range candidateNames(proto, t) {
-			if !distinct[name] {
+	for _, pl := range plans {
+		for _, cfg := range pl.Measure {
+			if name := cfg.Name(); !distinct[name] {
 				distinct[name] = true
 				names = append(names, name)
 			}
@@ -171,9 +208,21 @@ func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunel
 
 	// Stage 3b: the measurement pool. Tasks are statically partitioned
 	// round-robin so the critical path (and therefore the reported
-	// tuning time) is deterministic for a given Jobs value.
+	// tuning time) is deterministic for a given Jobs value. Predicted
+	// plans resolve inline first — they measure nothing and charge no
+	// clock, so routing them through the pool would only skew the
+	// round-robin partition.
 	results := make([]profiler.Result, len(pending))
 	errs := make([]error, len(pending))
+	for i, t := range pending {
+		if plans[i].Predicted {
+			if t.isConv {
+				results[i], errs[i] = planner.ProfileConvPlan(t.conv, plans[i])
+			} else {
+				results[i], errs[i] = planner.ProfileGemmPlan(t.gemm, plans[i])
+			}
+		}
+	}
 	clocks := make([]gpu.Clock, poolJobs)
 	var wg sync.WaitGroup
 	for w := 0; w < poolJobs; w++ {
@@ -181,17 +230,28 @@ func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunel
 		go func(w int) {
 			defer wg.Done()
 			worker := proto.Worker(&clocks[w], names)
+			worker.Guide = guide
 			for i := w; i < len(pending); i += poolJobs {
+				if plans[i].Predicted {
+					continue
+				}
 				t := pending[i]
 				if t.isConv {
-					results[i], errs[i] = worker.ProfileConv(t.conv)
+					results[i], errs[i] = worker.ProfileConvPlan(t.conv, plans[i])
 				} else {
-					results[i], errs[i] = worker.ProfileGemm(t.gemm)
+					results[i], errs[i] = worker.ProfileGemmPlan(t.gemm, plans[i])
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
+
+	// Fold this run's measurements into the model once the pool has
+	// drained: the next pipeline (or the next first-use compile in a
+	// serving process) plans against everything learned here.
+	if guide.Model != nil {
+		guide.Model.Fit()
+	}
 
 	measureSeconds := 0.0
 	for w := range clocks {
@@ -201,20 +261,35 @@ func runTuningPipeline(g *relay.Graph, dev *gpu.Device, opts Options) (map[tunel
 	}
 	stats.TuningSeconds = compileSeconds + measureSeconds
 
+	predErrSum, predErrN := 0.0, 0
 	for i, t := range pending {
 		if errs[i] != nil {
 			return nil, stats, fmt.Errorf("profiling %s: %w", t.key, errs[i])
 		}
-		resolved[t.key] = results[i]
+		r := results[i]
+		resolved[t.key] = r
 		stats.ProfiledWorkloads++
-		stats.Measurements += results[i].Candidates
+		stats.Measurements += r.Candidates
+		stats.EnumeratedCandidates += r.Enumerated
+		stats.SkippedCandidates += r.Enumerated - r.Candidates
+		if r.Predicted {
+			stats.PredictedWorkloads++
+		}
+		if r.PredictionError >= 0 {
+			predErrSum += r.PredictionError
+			predErrN++
+		}
 		if opts.Log != nil {
 			opts.Log.Record(t.key, tunelog.Entry{
-				Config:      results[i].Config,
-				TimeSeconds: results[i].Time,
-				Trials:      results[i].Candidates,
+				Config:      r.Config,
+				TimeSeconds: r.Time,
+				Trials:      r.Candidates,
+				Predicted:   r.Predicted,
 			})
 		}
+	}
+	if predErrN > 0 {
+		stats.PredictionError = predErrSum / float64(predErrN)
 	}
 
 	// Merge the critical path into the caller's tuning clock.

@@ -1,0 +1,424 @@
+// Package costmodel implements the learned kernel performance model
+// shared by the opaque Ansor-style tuner and Bolt's guided profiler:
+// ridge regression over schedule/template features predicting log
+// kernel time, trained online as measurements land.
+//
+// The package is deliberately deterministic and seedable — no
+// math/rand global state anywhere. A Predictor's weights depend only
+// on the *set* of observations it has seen (never their arrival
+// order), so a profiling pool of any width trains the same model, and
+// a model reloaded from JSON reproduces the exact ranking it would
+// have produced in the process that saved it.
+package costmodel
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Solve fits ridge regression — (X'X + lambda I) w = X'y — by
+// Gaussian elimination with partial pivoting, accumulating normal
+// equations over rows in the given order. It returns nil when there
+// are fewer rows than features (underdetermined; callers treat nil as
+// "not trained").
+func Solve(feats [][]float64, targets []float64, lambda float64) []float64 {
+	if len(feats) == 0 {
+		return nil
+	}
+	n := len(feats[0])
+	if len(feats) < n {
+		return nil
+	}
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		a[i][i] = lambda
+	}
+	for r, f := range feats {
+		y := targets[r]
+		for i := 0; i < n; i++ {
+			b[i] += f[i] * y
+			for j := 0; j < n; j++ {
+				a[i][j] += f[i] * f[j]
+			}
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			continue
+		}
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	w := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * w[j]
+		}
+		if math.Abs(a[i][i]) < 1e-12 {
+			w[i] = 0
+		} else {
+			w[i] = sum / a[i][i]
+		}
+	}
+	return w
+}
+
+// Observation is one measured sample the predictor learns from.
+type Observation struct {
+	// Group identifies the workload the sample belongs to. The model's
+	// job is ranking candidates *within* one workload, so held-out
+	// confidence is rank correlation computed per group.
+	Group string `json:"g"`
+	// Feat is the feature vector (see Features).
+	Feat []float64 `json:"f"`
+	// Y is the learning target: log kernel seconds (lower is faster).
+	Y float64 `json:"y"`
+}
+
+const (
+	// ridgeLambda regularizes the fit (same strength the Ansor-style
+	// tuner uses).
+	ridgeLambda = 1e-2
+	// heldOutMod holds out one observation in heldOutMod (selected by a
+	// seeded, order-independent hash) for confidence estimation.
+	heldOutMod = 4
+	// minGroupRank is the smallest held-out group that contributes a
+	// rank-correlation vote (rank correlation over fewer points is
+	// noise).
+	minGroupRank = 4
+	// minHeldOut is the minimum held-out sample count before the model
+	// reports any confidence at all.
+	minHeldOut = 8
+)
+
+// Predictor is a seedable, thread-safe online cost model. Observe
+// records measurements (idempotently — re-observing an identical
+// sample is a no-op, so merging two logs never double-counts), Fit
+// retrains from the full observation set in a canonical order, and
+// Predict scores candidates with the weights of the last Fit.
+type Predictor struct {
+	mu      sync.Mutex
+	seed    int64
+	dim     int
+	obs     []Observation
+	seen    map[uint64]struct{}
+	weights []float64
+	conf    float64
+}
+
+// NewPredictor returns an empty predictor. The seed parameterizes the
+// held-out split (which observations are withheld from training to
+// score confidence); two predictors with the same seed and the same
+// observation set are bit-identical.
+func NewPredictor(seed int64) *Predictor {
+	return &Predictor{seed: seed, seen: make(map[uint64]struct{})}
+}
+
+// obsHash fingerprints an observation under a seed: the basis of both
+// the dedup set and the held-out split. It depends only on the
+// observation's value, never on insertion order.
+func obsHash(seed int64, o Observation) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(o.Group))
+	for _, f := range o.Feat {
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(o.Y))
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// Observe records one measured sample. Non-finite targets, empty
+// features, dimension mismatches, and exact duplicates are dropped.
+func (p *Predictor) Observe(group string, feat []float64, y float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observeLocked(Observation{Group: group, Feat: feat, Y: y})
+}
+
+func (p *Predictor) observeLocked(o Observation) {
+	if len(o.Feat) == 0 || math.IsNaN(o.Y) || math.IsInf(o.Y, 0) {
+		return
+	}
+	if p.dim == 0 {
+		p.dim = len(o.Feat)
+	}
+	if len(o.Feat) != p.dim {
+		return
+	}
+	o.Feat = append([]float64(nil), o.Feat...)
+	h := obsHash(p.seed, o)
+	if p.seen == nil {
+		p.seen = make(map[uint64]struct{})
+	}
+	if _, ok := p.seen[h]; ok {
+		return
+	}
+	p.seen[h] = struct{}{}
+	p.obs = append(p.obs, o)
+}
+
+// Ingest merges every observation of other (dedup applies) and refits.
+func (p *Predictor) Ingest(other *Predictor) {
+	if other == nil || other == p {
+		return
+	}
+	other.mu.Lock()
+	rows := make([]Observation, len(other.obs))
+	copy(rows, other.obs)
+	other.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, o := range rows {
+		p.observeLocked(o)
+	}
+	p.fitLocked()
+}
+
+// Len returns the number of distinct observations recorded.
+func (p *Predictor) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.obs)
+}
+
+// lessObs is the canonical observation order: fits iterate
+// observations sorted by value, so weights never depend on which
+// worker measured what first.
+func lessObs(a, b Observation) bool {
+	if a.Group != b.Group {
+		return a.Group < b.Group
+	}
+	for i := range a.Feat {
+		if i >= len(b.Feat) {
+			return false
+		}
+		if a.Feat[i] != b.Feat[i] {
+			return a.Feat[i] < b.Feat[i]
+		}
+	}
+	if len(a.Feat) != len(b.Feat) {
+		return len(a.Feat) < len(b.Feat)
+	}
+	return a.Y < b.Y
+}
+
+// Fit retrains the model: training rows (the non-held-out majority)
+// are solved exactly in canonical order, then confidence is scored as
+// the sample-weighted mean Spearman rank correlation between
+// predicted and measured times across held-out groups.
+func (p *Predictor) Fit() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fitLocked()
+}
+
+func (p *Predictor) fitLocked() {
+	rows := make([]Observation, len(p.obs))
+	copy(rows, p.obs)
+	sort.Slice(rows, func(a, b int) bool { return lessObs(rows[a], rows[b]) })
+
+	var trainF [][]float64
+	var trainY []float64
+	var held []Observation
+	for _, o := range rows {
+		if obsHash(p.seed, o)%heldOutMod == 0 {
+			held = append(held, o)
+		} else {
+			trainF = append(trainF, o.Feat)
+			trainY = append(trainY, o.Y)
+		}
+	}
+	w := Solve(trainF, trainY, ridgeLambda)
+	if w == nil {
+		p.weights, p.conf = nil, 0
+		return
+	}
+	p.weights = w
+
+	// held is sorted by Group first, so groups are contiguous and the
+	// confidence sum is accumulated in a deterministic order.
+	total, votes := 0.0, 0
+	for i := 0; i < len(held); {
+		j := i
+		for j < len(held) && held[j].Group == held[i].Group {
+			j++
+		}
+		if n := j - i; n >= minGroupRank {
+			preds := make([]float64, n)
+			actual := make([]float64, n)
+			for k, o := range held[i:j] {
+				preds[k] = dot(w, o.Feat)
+				actual[k] = o.Y
+			}
+			total += spearman(preds, actual) * float64(n)
+			votes += n
+		}
+		i = j
+	}
+	if votes < minHeldOut {
+		p.conf = 0
+		return
+	}
+	p.conf = total / float64(votes)
+	if p.conf < 0 {
+		p.conf = 0
+	}
+	if p.conf > 1 {
+		p.conf = 1
+	}
+}
+
+func dot(w, f []float64) float64 {
+	s := 0.0
+	for i := range w {
+		if i < len(f) {
+			s += w[i] * f[i]
+		}
+	}
+	return s
+}
+
+// ranks assigns average ranks (ties share their mean rank).
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	r := make([]float64, len(x))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && x[idx[j]] == x[idx[i]] {
+			j++
+		}
+		mean := float64(i+j-1) / 2
+		for k := i; k < j; k++ {
+			r[idx[k]] = mean
+		}
+		i = j
+	}
+	return r
+}
+
+// spearman computes the Spearman rank correlation of two equal-length
+// samples (Pearson correlation of their average ranks); 0 when either
+// sample is constant.
+func spearman(a, b []float64) float64 {
+	ra, rb := ranks(a), ranks(b)
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Predict returns the model's score for a feature vector — predicted
+// log kernel seconds, lower is faster — using the weights of the last
+// Fit (0 before any successful fit).
+func (p *Predictor) Predict(feat []float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.weights == nil {
+		return 0
+	}
+	return dot(p.weights, feat)
+}
+
+// Trained reports whether the model has enough data behind a fit to
+// produce meaningful predictions.
+func (p *Predictor) Trained() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.weights != nil
+}
+
+// Confidence returns the held-out ranking quality of the last Fit in
+// [0, 1]: the sample-weighted mean Spearman rank correlation between
+// predicted and measured times across held-out workload groups (0
+// until enough held-out samples exist). This is what a trust gate
+// compares against its threshold before skipping measurement.
+func (p *Predictor) Confidence() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conf
+}
+
+// predictorJSON is the persistence format: the seed and the raw
+// observation set. Weights are derived state and are refit on load,
+// so a loaded model is bit-identical to the one that saved it.
+type predictorJSON struct {
+	Seed int64         `json:"seed"`
+	Obs  []Observation `json:"obs"`
+}
+
+// MarshalJSON serializes the predictor with observations in canonical
+// order (stable files under any training interleaving).
+func (p *Predictor) MarshalJSON() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]Observation, len(p.obs))
+	copy(rows, p.obs)
+	sort.Slice(rows, func(a, b int) bool { return lessObs(rows[a], rows[b]) })
+	return json.Marshal(predictorJSON{Seed: p.seed, Obs: rows})
+}
+
+// UnmarshalJSON replaces the predictor's state with the serialized
+// observation set and refits.
+func (p *Predictor) UnmarshalJSON(data []byte) error {
+	var pj predictorJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.seed = pj.Seed
+	p.dim = 0
+	p.obs = nil
+	p.seen = make(map[uint64]struct{})
+	p.weights, p.conf = nil, 0
+	for _, o := range pj.Obs {
+		p.observeLocked(o)
+	}
+	p.fitLocked()
+	return nil
+}

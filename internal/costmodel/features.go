@@ -1,0 +1,133 @@
+package costmodel
+
+import (
+	"math"
+
+	"bolt/internal/cutlass"
+	"bolt/internal/gpu"
+)
+
+// Features extracts the model's input vector for one templated-kernel
+// candidate: the CUTLASS template parameters, the workload geometry,
+// occupancy-derived launch structure (grid size, waves, resident
+// warps — all statically derivable, no measurement), and the device
+// class. Pass conv for convolution workloads (m, n, k are then the
+// implicit-GEMM dims) and nil for plain GEMMs.
+//
+// The vector length is constant for a given workload kind mix, so one
+// Predictor can learn across GEMM and Conv tasks on several devices
+// at once.
+func Features(cfg cutlass.GemmConfig, m, n, k int, conv *cutlass.ConvShape, dev *gpu.Device) []float64 {
+	lg := func(x float64) float64 { return math.Log2(x + 1) }
+	lgi := func(x int) float64 { return lg(float64(x)) }
+
+	tilesM := (m + cfg.TB.M - 1) / cfg.TB.M
+	tilesN := (n + cfg.TB.N - 1) / cfg.TB.N
+	grid := tilesM * tilesN
+	kIters := (k + cfg.TB.K - 1) / cfg.TB.K
+
+	occ := dev.Occupancy(gpu.KernelDesc{
+		ThreadsPerBlock: cfg.Threads(),
+		RegsPerThread:   cfg.RegsPerThread(),
+		SharedMemBytes:  cfg.SharedMemBytes(),
+	})
+	// Wave quantization: blocks on the busiest SM in steady state (the
+	// occupancy-rule launch structure, statically derivable).
+	waves, critical := 0.0, 0.0
+	if slots := occ.BlocksPerSM * dev.SMs; slots > 0 {
+		waves = float64((grid + slots - 1) / slots)
+		full := grid / slots
+		tail := grid % slots
+		critical = float64(full*occ.BlocksPerSM + (tail+dev.SMs-1)/dev.SMs)
+	}
+	underutil := lgi(dev.SMs) - lgi(grid)
+	if underutil < 0 {
+		underutil = 0
+	}
+	alignAB := cfg.AlignA
+	if cfg.AlignB < alignAB {
+		alignAB = cfg.AlignB
+	}
+
+	// Log-domain roofline components. These are compile-time formulae
+	// over the template parameters — the analytic issue-efficiency
+	// model CUTLASS-style configs expose, per-block work, and a DRAM
+	// traffic estimate under swizzled L2 reuse — not measurements. A
+	// linear model over log components can reconstruct a multiplicative
+	// cost model, which is exactly the regression's job.
+	issueLg := math.Log2(cfg.IssueEffForK(k) + 1e-6)
+	// Steady-state residency on the busiest SM (the simulator's wave
+	// distribution, reproduced from the same occupancy rules).
+	conc := grid
+	if slots := occ.BlocksPerSM * dev.SMs; conc > slots {
+		conc = slots
+	}
+	activeSMs := dev.SMs
+	if conc < activeSMs {
+		activeSMs = conc
+	}
+	lat := 0.0
+	if activeSMs > 0 {
+		perSM := float64(conc) / float64(activeSMs) * float64(cfg.WarpCount())
+		lat = gpu.LatencyHidingEff(int(math.Round(perSM)))
+	}
+	latLg := math.Log2(lat + 1e-6)
+	vecLg := math.Log2(gpu.VectorEff(alignAB, cfg.DType) + 1e-6)
+	esize := float64(cfg.DType.Size())
+	perBlockLg := math.Log2(float64(cfg.TB.M)*float64(cfg.TB.N)*float64(k) + 1)
+	g := 1 << cfg.SwizzleLog
+	if g > tilesM {
+		g = tilesM
+	}
+	if g > tilesN {
+		g = tilesN
+	}
+	if g < 1 {
+		g = 1
+	}
+	// Shrink the swizzle group while its pipeline slice overflows L2,
+	// then price redundant re-reads with the L2 residency discount —
+	// the same static traffic estimate the templates are priced with.
+	for g > 1 && g*(cfg.TB.M+cfg.TB.N)*cfg.TB.K*cfg.Stages*int(esize)*4 > dev.L2Bytes {
+		g /= 2
+	}
+	aFoot := float64(m) * float64(k) * esize
+	bFoot := float64(k) * float64(n) * esize
+	traffic := cutlass.L2Discounted(dev, aFoot, (tilesN+g-1)/g) +
+		cutlass.L2Discounted(dev, bFoot, (tilesM+g-1)/g) +
+		float64(m)*float64(n)*esize
+	trafficLg := math.Log2(traffic + 1)
+
+	f := []float64{
+		1, // bias
+		lgi(cfg.TB.M), lgi(cfg.TB.N), lgi(cfg.TB.K),
+		lgi(cfg.Warp.M * cfg.Warp.N),
+		float64(cfg.WarpCount()),
+		float64(cfg.Stages),
+		float64(cfg.SwizzleLog),
+		lgi(alignAB), lgi(cfg.AlignC),
+		lgi(m), lgi(n), lgi(k),
+		lgi(grid), lgi(kIters),
+		underutil,
+		lg(waves),
+		lg(critical),
+		float64(occ.WarpsPerSM),
+		occ.Fraction,
+		issueLg,
+		latLg,
+		vecLg,
+		lgi(activeSMs),
+		perBlockLg,
+		trafficLg,
+		lgi(cfg.SharedMemBytes()),
+		lgi(dev.SMs),
+		lg(dev.PeakTFLOPS(cfg.Op, cfg.DType)),
+		lg(dev.DRAMBWGBs),
+	}
+	if conv != nil {
+		f = append(f, 1, lgi(conv.KH*conv.KW), lgi(conv.StrideH*conv.StrideW))
+	} else {
+		f = append(f, 0, 0, 0)
+	}
+	return f
+}

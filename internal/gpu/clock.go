@@ -57,6 +57,12 @@ type MeasureOptions struct {
 	Warmup int
 	// NoiseStdDev is the relative standard deviation of per-run jitter.
 	NoiseStdDev float64
+	// LaunchOverhead is the fixed host-side cost per run (launch, sync,
+	// and timer plumbing) charged to the clock but never included in
+	// the returned kernel time — it is why measuring hundreds of
+	// candidates costs real wall-clock even when each kernel finishes
+	// in microseconds. 0 models an ideal overhead-free harness.
+	LaunchOverhead float64
 }
 
 // DefaultMeasure matches the evaluation methodology in the paper's
@@ -82,7 +88,7 @@ func Measure(d *Device, k KernelDesc, opts MeasureOptions, rng *rand.Rand, clock
 	total := 0.0
 	for i := 0; i < opts.Warmup; i++ {
 		if clock != nil {
-			clock.Advance(base)
+			clock.Advance(base + opts.LaunchOverhead)
 		}
 	}
 	for i := 0; i < opts.Repeats; i++ {
@@ -95,7 +101,7 @@ func Measure(d *Device, k KernelDesc, opts MeasureOptions, rng *rand.Rand, clock
 		}
 		total += t
 		if clock != nil {
-			clock.Advance(t)
+			clock.Advance(t + opts.LaunchOverhead)
 		}
 	}
 	return total / float64(opts.Repeats)

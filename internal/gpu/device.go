@@ -257,6 +257,16 @@ func latencyHidingEff(warpsPerSM int) float64 {
 	return 0.18 + 0.82*e
 }
 
+// LatencyHidingEff exposes the resident-warp latency-hiding curve for
+// compile-time cost modeling: learned rankers (internal/costmodel)
+// build features from the same analytic curves the simulator prices
+// with, without ever calling the priced time itself.
+func LatencyHidingEff(warpsPerSM int) float64 { return latencyHidingEff(warpsPerSM) }
+
+// VectorEff exposes the global-access vector-width efficiency curve
+// (see LatencyHidingEff).
+func VectorEff(alignElems int, dt tensor.DType) float64 { return vectorEff(alignElems, dt) }
+
 // perSMBWFactor controls how many SMs it takes to saturate DRAM: each
 // SM can draw at most perSMBWFactor * (DRAMBW / SMs), so roughly
 // SMs/perSMBWFactor active SMs reach full bandwidth.

@@ -21,10 +21,12 @@ package profiler
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
 
+	"bolt/internal/costmodel"
 	"bolt/internal/cutlass"
 	"bolt/internal/gpu"
 	"bolt/internal/tensor"
@@ -50,10 +52,56 @@ type ConvWorkload struct {
 // Result is the outcome of profiling one workload.
 type Result struct {
 	Config cutlass.GemmConfig
-	// Time is the measured kernel time in seconds for the best config.
+	// Time is the measured kernel time in seconds for the best config
+	// (the model's predicted time when Predicted is set).
 	Time float64
-	// Candidates is how many configurations were measured.
+	// Candidates is how many configurations were actually measured
+	// (the full enumeration on an unguided sweep; at most Guidance.TopK
+	// under guidance; 0 for a predicted resolution).
 	Candidates int
+	// Enumerated is how many configurations the architecture-guided
+	// search enumerated before guidance cut the list (0 for cache-hit
+	// results, which enumerate nothing).
+	Enumerated int
+	// Predicted marks a measurement-free resolution: the trust gate
+	// accepted the cost model's pick without running a single sample.
+	Predicted bool
+	// PredictionError is the relative error |predicted - measured| /
+	// measured of the model's score for the chosen config, when a
+	// trained model was consulted and the config was measured; -1 when
+	// not applicable.
+	PredictionError float64
+}
+
+// Guidance configures cost-model-guided candidate selection.
+type Guidance struct {
+	// Model ranks candidates and learns from every measurement. Nil
+	// disables guidance entirely (full sweep, no training).
+	Model *costmodel.Predictor
+	// TopK measures only the model's k best-ranked candidates per
+	// workload (0 = full sweep). Ignored until the model is trained.
+	TopK int
+	// TrustThreshold skips measurement entirely — emitting the model's
+	// predicted-best config — once Model.Confidence() (held-out rank
+	// correlation) reaches it. 0 = never skip.
+	TrustThreshold float64
+}
+
+// Plan is a guided profiling decision for one workload: which
+// candidates to measure (ranked best-first under guidance), or a
+// measurement-free predicted pick.
+type Plan struct {
+	// Enumerated is the full candidate count before guidance.
+	Enumerated int
+	// Measure is the candidate subset to measure; nil when Predicted.
+	Measure []cutlass.GemmConfig
+	// Guided reports whether the model reordered or cut the list.
+	Guided bool
+	// Predicted means skip measurement: Config and Time carry the
+	// model's pick and its predicted kernel seconds.
+	Predicted bool
+	Config    cutlass.GemmConfig
+	Time      float64
 }
 
 // Profiler searches template parameters for GEMM and Conv workloads on
@@ -75,11 +123,23 @@ type Profiler struct {
 
 	// Measure controls the per-candidate measurement methodology.
 	Measure gpu.MeasureOptions
+
+	// Guide configures cost-model-guided candidate selection. Set it
+	// before profiling starts; Worker copies it, so every pool worker
+	// shares one model. The zero value is a full sweep.
+	Guide Guidance
 }
 
 // New creates a profiler for the device. The clock accumulates
 // simulated tuning time (Figure 10b); pass nil to skip accounting.
 func New(dev *gpu.Device, clock *gpu.Clock) *Profiler {
+	m := gpu.QuickMeasure()
+	// Per-run profiling-harness overhead: launching a fresh sample
+	// kernel, synchronizing, and reading timers costs milliseconds per
+	// candidate regardless of how fast the kernel itself runs. It is
+	// most of the measurement bill for microsecond kernels, and exactly
+	// what guided top-k pruning saves.
+	m.LaunchOverhead = 5e-3
 	return &Profiler{
 		dev:            dev,
 		clock:          clock,
@@ -87,7 +147,7 @@ func New(dev *gpu.Device, clock *gpu.Clock) *Profiler {
 		convCache:      make(map[ConvWorkload]Result),
 		CompileLatency: 0.9, // seconds per sample program (nvcc on one template)
 		compiled:       make(map[string]bool),
-		Measure:        gpu.QuickMeasure(),
+		Measure:        m,
 	}
 }
 
@@ -100,6 +160,7 @@ func (p *Profiler) Worker(clock *gpu.Clock, precompiled []string) *Profiler {
 	w := New(p.dev, clock)
 	w.CompileLatency = p.CompileLatency
 	w.Measure = p.Measure
+	w.Guide = p.Guide
 	for _, name := range precompiled {
 		w.compiled[name] = true
 	}
@@ -234,28 +295,133 @@ func (p *Profiler) chargeCompile(name string) {
 	}
 }
 
-// ProfileGemm measures all candidates for the workload and returns the
-// fastest, caching the result.
+// gemmGroupID identifies a GEMM workload for both the deterministic
+// noise stream and the cost model's rank-correlation groups.
+func gemmGroupID(w GemmWorkload) string { return "gemm:" + w.String() + ":" + w.DType.String() }
+
+// convGroupID is the convolution counterpart of gemmGroupID.
+func convGroupID(w ConvWorkload) string { return fmt.Sprintf("conv:%+v:%s", w.Shape, w.DType) }
+
+// plan applies the profiler's guidance to an enumerated candidate
+// list. Without an applicable model it returns a full sweep in
+// enumeration order (the exact unguided behavior). With one, it ranks
+// candidates by predicted time (stable sort, so ties keep enumeration
+// order and the plan is deterministic), then either keeps the top-k
+// or — when held-out confidence clears the trust threshold — resolves
+// the workload measurement-free from the prediction.
+func (p *Profiler) plan(cands []cutlass.GemmConfig, feat func(cutlass.GemmConfig) []float64) Plan {
+	pl := Plan{Enumerated: len(cands), Measure: cands}
+	g := p.Guide
+	if g.Model == nil || !g.Model.Trained() || (g.TopK <= 0 && g.TrustThreshold <= 0) {
+		return pl
+	}
+	preds := make([]float64, len(cands))
+	for i, cfg := range cands {
+		preds[i] = g.Model.Predict(feat(cfg))
+	}
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return preds[idx[a]] < preds[idx[b]] })
+	if g.TrustThreshold > 0 && g.Model.Confidence() >= g.TrustThreshold {
+		pl.Guided = true
+		pl.Predicted = true
+		pl.Config = cands[idx[0]]
+		pl.Time = math.Exp(preds[idx[0]])
+		pl.Measure = nil
+		return pl
+	}
+	// Only cut the list when top-k actually shrinks it; a full-length
+	// sweep stays in enumeration order so a below-threshold trust gate
+	// falls back to exactly the unguided measurement sequence.
+	if k := g.TopK; k > 0 && k < len(cands) {
+		ranked := make([]cutlass.GemmConfig, k)
+		for i, j := range idx[:k] {
+			ranked[i] = cands[j]
+		}
+		pl.Guided = true
+		pl.Measure = ranked
+	}
+	return pl
+}
+
+// PlanGemm enumerates a GEMM workload's candidates and applies the
+// profiler's guidance. It charges no clock and takes no measurement.
+func (p *Profiler) PlanGemm(w GemmWorkload) (Plan, error) {
+	cands := p.GemmCandidates(w)
+	if len(cands) == 0 {
+		return Plan{}, fmt.Errorf("profiler: no valid candidates for %s", w)
+	}
+	return p.plan(cands, func(cfg cutlass.GemmConfig) []float64 {
+		return costmodel.Features(cfg, w.M, w.N, w.K, nil, p.dev)
+	}), nil
+}
+
+// ProfileGemm measures the workload's candidates (all of them, or the
+// guided subset) and returns the fastest, caching the result.
 func (p *Profiler) ProfileGemm(w GemmWorkload) (Result, error) {
+	p.mu.Lock()
+	if r, ok := p.gemmCache[w]; ok {
+		p.mu.Unlock()
+		return r, nil
+	}
+	p.mu.Unlock()
+	plan, err := p.PlanGemm(w)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.ProfileGemmPlan(w, plan)
+}
+
+// ProfileGemmPlan resolves a workload according to a previously
+// computed plan: a predicted plan caches the model's pick without
+// measuring (zero tuning-clock charge); otherwise exactly the planned
+// candidates are compiled and measured. Every measurement is fed back
+// to the guidance model (training is a separate, explicit Fit so the
+// ranking stays frozen while a profiling pool is in flight).
+func (p *Profiler) ProfileGemmPlan(w GemmWorkload, plan Plan) (Result, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if r, ok := p.gemmCache[w]; ok {
 		return r, nil
 	}
-	cands := p.GemmCandidates(w)
-	if len(cands) == 0 {
-		return Result{}, fmt.Errorf("profiler: no valid candidates for %s", w)
+	if plan.Predicted {
+		r := Result{Config: plan.Config, Time: plan.Time, Enumerated: plan.Enumerated, Predicted: true, PredictionError: -1}
+		p.gemmCache[w] = r
+		return r, nil
 	}
-	rng := workloadRNG("gemm:" + w.String() + ":" + w.DType.String())
-	best := Result{Time: -1, Candidates: len(cands)}
-	for _, cfg := range cands {
+	if len(plan.Measure) == 0 {
+		return Result{}, fmt.Errorf("profiler: empty measurement plan for %s", w)
+	}
+	group := gemmGroupID(w)
+	rng := workloadRNG(group)
+	best := Result{Time: -1, Candidates: len(plan.Measure), Enumerated: plan.Enumerated, PredictionError: -1}
+	bestPred := math.NaN()
+	for _, cfg := range plan.Measure {
 		p.chargeCompile(cfg.Name())
 		g := &cutlass.Gemm{Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
 		t := gpu.Measure(p.dev, g.Desc(p.dev, w.M, w.N, w.K), p.Measure, rng, p.clock)
+		var pred float64
+		if p.Guide.Model != nil && t > 0 {
+			f := costmodel.Features(cfg, w.M, w.N, w.K, nil, p.dev)
+			if p.Guide.Model.Trained() {
+				pred = p.Guide.Model.Predict(f)
+			} else {
+				pred = math.NaN()
+			}
+			p.Guide.Model.Observe(group, f, math.Log(t))
+		} else {
+			pred = math.NaN()
+		}
 		if best.Time < 0 || t < best.Time {
 			best.Time = t
 			best.Config = cfg
+			bestPred = pred
 		}
+	}
+	if !math.IsNaN(bestPred) && best.Time > 0 {
+		best.PredictionError = math.Abs(math.Exp(bestPred)-best.Time) / best.Time
 	}
 	p.gemmCache[w] = best
 	return best, nil
@@ -281,28 +447,81 @@ func (p *Profiler) ConvCandidates(w ConvWorkload) []cutlass.GemmConfig {
 	return filtered
 }
 
-// ProfileConv measures candidates for a convolution workload.
+// PlanConv enumerates a convolution workload's candidates and applies
+// the profiler's guidance (no clock charge, no measurement).
+func (p *Profiler) PlanConv(w ConvWorkload) (Plan, error) {
+	filtered := p.ConvCandidates(w)
+	if len(filtered) == 0 {
+		return Plan{}, fmt.Errorf("profiler: no valid candidates for %v", w)
+	}
+	s := w.Shape
+	m, n, k := s.ImplicitGemm()
+	return p.plan(filtered, func(cfg cutlass.GemmConfig) []float64 {
+		return costmodel.Features(cfg, m, n, k, &s, p.dev)
+	}), nil
+}
+
+// ProfileConv measures candidates for a convolution workload (all of
+// them, or the guided subset).
 func (p *Profiler) ProfileConv(w ConvWorkload) (Result, error) {
+	p.mu.Lock()
+	if r, ok := p.convCache[w]; ok {
+		p.mu.Unlock()
+		return r, nil
+	}
+	p.mu.Unlock()
+	plan, err := p.PlanConv(w)
+	if err != nil {
+		return Result{}, err
+	}
+	return p.ProfileConvPlan(w, plan)
+}
+
+// ProfileConvPlan is the convolution counterpart of ProfileGemmPlan.
+func (p *Profiler) ProfileConvPlan(w ConvWorkload, plan Plan) (Result, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if r, ok := p.convCache[w]; ok {
 		return r, nil
 	}
-	s := w.Shape
-	filtered := p.ConvCandidates(w)
-	if len(filtered) == 0 {
-		return Result{}, fmt.Errorf("profiler: no valid candidates for %v", w)
+	if plan.Predicted {
+		r := Result{Config: plan.Config, Time: plan.Time, Enumerated: plan.Enumerated, Predicted: true, PredictionError: -1}
+		p.convCache[w] = r
+		return r, nil
 	}
-	rng := workloadRNG(fmt.Sprintf("conv:%+v:%s", s, w.DType))
-	best := Result{Time: -1, Candidates: len(filtered)}
-	for _, cfg := range filtered {
+	if len(plan.Measure) == 0 {
+		return Result{}, fmt.Errorf("profiler: empty measurement plan for %v", w)
+	}
+	s := w.Shape
+	m, n, k := s.ImplicitGemm()
+	group := convGroupID(w)
+	rng := workloadRNG(group)
+	best := Result{Time: -1, Candidates: len(plan.Measure), Enumerated: plan.Enumerated, PredictionError: -1}
+	bestPred := math.NaN()
+	for _, cfg := range plan.Measure {
 		p.chargeCompile(cfg.Name())
 		conv := &cutlass.Conv2D{Shape: s, Config: cfg, Epilogue: cutlass.DefaultEpilogue()}
 		t := gpu.Measure(p.dev, conv.Desc(p.dev), p.Measure, rng, p.clock)
+		var pred float64
+		if p.Guide.Model != nil && t > 0 {
+			f := costmodel.Features(cfg, m, n, k, &s, p.dev)
+			if p.Guide.Model.Trained() {
+				pred = p.Guide.Model.Predict(f)
+			} else {
+				pred = math.NaN()
+			}
+			p.Guide.Model.Observe(group, f, math.Log(t))
+		} else {
+			pred = math.NaN()
+		}
 		if best.Time < 0 || t < best.Time {
 			best.Time = t
 			best.Config = cfg
+			bestPred = pred
 		}
+	}
+	if !math.IsNaN(bestPred) && best.Time > 0 {
+		best.PredictionError = math.Abs(math.Exp(bestPred)-best.Time) / best.Time
 	}
 	p.convCache[w] = best
 	return best, nil

@@ -103,6 +103,22 @@ type TuningStats struct {
 	SamplePrograms int
 	// TuningSeconds is the simulated critical-path profiling cost.
 	TuningSeconds float64
+	// EnumeratedCandidates is the total number of candidate kernels the
+	// architecture-guided search enumerated across profiled workloads
+	// (Measurements <= EnumeratedCandidates; the difference is what
+	// cost-model guidance pruned).
+	EnumeratedCandidates int
+	// SkippedCandidates is how many enumerated candidates guidance
+	// decided not to measure (top-k pruning plus fully predicted
+	// workloads).
+	SkippedCandidates int
+	// PredictedWorkloads is how many unique workloads were resolved
+	// measurement-free from the cost model (trust gate).
+	PredictedWorkloads int
+	// PredictionError is the mean relative error of the cost model's
+	// prediction for the chosen config across measured workloads where
+	// a trained model was consulted; -1 when no such workload exists.
+	PredictionError float64
 }
 
 // Module is a compiled, runnable, priceable model. After compilation

@@ -12,6 +12,7 @@
 package tunelog
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"sync"
 
 	"bolt/internal/ansor"
+	"bolt/internal/costmodel"
 	"bolt/internal/cutlass"
 	"bolt/internal/tensor"
 )
@@ -72,6 +74,10 @@ type Entry struct {
 	// Trials records how much search produced this entry (measured
 	// candidates for Bolt, search trials for Ansor).
 	Trials int `json:"trials"`
+	// Predicted marks a measurement-free entry: the cost model's trust
+	// gate emitted its predicted-best config without running a sample,
+	// and TimeSeconds is the model's estimate, not a measurement.
+	Predicted bool `json:"predicted,omitempty"`
 }
 
 // Log is a thread-safe tuning-log database with hit/miss accounting.
@@ -83,11 +89,20 @@ type Log struct {
 	CurrentVersion int
 
 	Hits, Misses, StaleHits int
+
+	// Model is the cost model trained from this log's measurements. It
+	// persists alongside the entries (Save/Load/Merge), so a process
+	// loading a warm tunelog starts with a trained predictor and can
+	// guide — or skip — profiling of workloads the log has never seen.
+	// The Predictor is internally synchronized; Log methods only attach
+	// and detach it.
+	Model *costmodel.Predictor
 }
 
-// New returns an empty log at tuner version 1.
+// New returns an empty log at tuner version 1 with a fresh, untrained
+// cost model (deterministic seed: logs are reproducible artifacts).
 func New() *Log {
-	return &Log{entries: make(map[Key]Entry), CurrentVersion: 1}
+	return &Log{entries: make(map[Key]Entry), CurrentVersion: 1, Model: costmodel.NewPredictor(1)}
 }
 
 // Lookup returns the cached entry for a workload. Entries from older
@@ -146,8 +161,16 @@ type jsonEntry struct {
 	Entry Entry `json:"entry"`
 }
 
+// jsonLog is the v2 on-disk format: the entry rows plus the cost model
+// trained from them. The original format was a bare entry array;
+// readers sniff the first non-space byte to accept both.
+type jsonLog struct {
+	Entries []jsonEntry          `json:"entries"`
+	Model   *costmodel.Predictor `json:"model,omitempty"`
+}
+
 // Save writes the database as JSON (the on-disk format TopHub-style
-// registries ship).
+// registries ship), including the trained cost model when present.
 func (l *Log) Save(w io.Writer) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -156,23 +179,66 @@ func (l *Log) Save(w io.Writer) error {
 		rows = append(rows, jsonEntry{Key: k, Entry: e})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Key.String() < rows[j].Key.String() })
+	out := jsonLog{Entries: rows}
+	if l.Model != nil && l.Model.Len() > 0 {
+		out.Model = l.Model
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
+	return enc.Encode(out)
+}
+
+// decode reads either on-disk format: the v2 object or the legacy bare
+// entry array (which carries no model).
+func decode(r io.Reader) (jsonLog, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return jsonLog{}, fmt.Errorf("tunelog: %w", err)
+	}
+	trimmed := bytes.TrimLeft(buf, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var rows []jsonEntry
+		if err := json.Unmarshal(trimmed, &rows); err != nil {
+			return jsonLog{}, fmt.Errorf("tunelog: %w", err)
+		}
+		return jsonLog{Entries: rows}, nil
+	}
+	var db jsonLog
+	if err := json.Unmarshal(trimmed, &db); err != nil {
+		return jsonLog{}, fmt.Errorf("tunelog: %w", err)
+	}
+	return db, nil
+}
+
+// ingestModel folds a decoded file model into this log's predictor.
+// Observations merge (deduplicated) in both the Load and Merge
+// directions — measurements are facts, not preferences, so there is no
+// conflict to resolve — and the merged model refits.
+func (l *Log) ingestModel(m *costmodel.Predictor) {
+	if m == nil {
+		return
+	}
+	if l.Model == nil {
+		l.Model = costmodel.NewPredictor(1)
+	}
+	l.Model.Ingest(m)
 }
 
 // Load merges a saved database into this one (file entries win key
-// conflicts — use Merge to keep in-memory entries instead).
+// conflicts — use Merge to keep in-memory entries instead). A v2 file's
+// cost model is folded into the log's predictor, so a warm process
+// starts trained.
 func (l *Log) Load(r io.Reader) error {
-	var rows []jsonEntry
-	if err := json.NewDecoder(r).Decode(&rows); err != nil {
-		return fmt.Errorf("tunelog: %w", err)
+	db, err := decode(r)
+	if err != nil {
+		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, row := range rows {
+	for _, row := range db.Entries {
 		l.entries[row.Key] = row.Entry
 	}
+	l.ingestModel(db.Model)
 	return nil
 }
 
@@ -180,19 +246,20 @@ func (l *Log) Load(r io.Reader) error {
 // absent from this log: in-memory entries win conflicts. This is the
 // write-back direction — a server persisting its shared log merges in
 // what other processes wrote to the file without clobbering its own
-// fresher results.
+// fresher results. Cost-model observations merge symmetrically.
 func (l *Log) Merge(r io.Reader) error {
-	var rows []jsonEntry
-	if err := json.NewDecoder(r).Decode(&rows); err != nil {
-		return fmt.Errorf("tunelog: %w", err)
+	db, err := decode(r)
+	if err != nil {
+		return err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, row := range rows {
+	for _, row := range db.Entries {
 		if _, ok := l.entries[row.Key]; !ok {
 			l.entries[row.Key] = row.Entry
 		}
 	}
+	l.ingestModel(db.Model)
 	return nil
 }
 

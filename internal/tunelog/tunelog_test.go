@@ -2,10 +2,13 @@ package tunelog
 
 import (
 	"bytes"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"bolt/internal/ansor"
+	"bolt/internal/costmodel"
 	"bolt/internal/cutlass"
 	"bolt/internal/tensor"
 )
@@ -184,5 +187,100 @@ func TestMergeMemoryWins(t *testing.T) {
 	}
 	if e, ok := l2.Lookup(k); !ok || e.Trials != 2 {
 		t.Errorf("Load must prefer file entries: %+v", e)
+	}
+}
+
+// trainedModel builds a small predictor with enough structure to fit.
+func trainedModel(scale float64) *costmodel.Predictor {
+	p := costmodel.NewPredictor(1)
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 8; i++ {
+			x := float64(i + g)
+			p.Observe(fmt.Sprintf("g%d", g), []float64{1, x, x * x}, scale*(2*x-1))
+		}
+	}
+	p.Fit()
+	return p
+}
+
+func TestSaveLoadRoundTripsModel(t *testing.T) {
+	l := New()
+	l.Record(GemmKey(64, 64, 64, tensor.FP16, "T4"), Entry{TimeSeconds: 1e-6, Trials: 5})
+	l.Model = trainedModel(1)
+	if !l.Model.Trained() {
+		t.Fatal("setup: model did not train")
+	}
+	wantConf := l.Model.Confidence()
+
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	warm := New()
+	if err := warm.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Model == nil || !warm.Model.Trained() {
+		t.Fatal("loaded log must carry a trained model")
+	}
+	if got := warm.Model.Confidence(); got != wantConf {
+		t.Errorf("model confidence changed across save/load: %v != %v", got, wantConf)
+	}
+	if warm.Model.Len() != l.Model.Len() {
+		t.Errorf("observation count changed: %d != %d", warm.Model.Len(), l.Model.Len())
+	}
+
+	// Merge direction: observations union and the model refits.
+	merged := New()
+	merged.Model = trainedModel(1)
+	if err := merged.Merge(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Model.Len() != l.Model.Len() {
+		t.Errorf("merging identical observations must dedup: %d != %d", merged.Model.Len(), l.Model.Len())
+	}
+}
+
+func TestLoadLegacyArrayFormat(t *testing.T) {
+	// Pre-v2 logs are a bare entry array with no model; they must still
+	// load (and merge) without error.
+	legacy := `[
+  {"key": {"kind": "gemm", "m": 64, "n": 64, "k": 64, "dtype": "float16", "device": "T4", "version": 1},
+   "entry": {"time_seconds": 2.5e-06, "trials": 7}}
+]`
+	l := New()
+	if err := l.Load(strings.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := l.Lookup(GemmKey(64, 64, 64, tensor.FP16, "T4")); !ok || e.Trials != 7 {
+		t.Errorf("legacy entry missing after load: %+v ok=%v", e, ok)
+	}
+	if l.Model.Trained() {
+		t.Error("legacy file carries no model; predictor must stay untrained")
+	}
+	l2 := New()
+	if err := l2.Merge(strings.NewReader(legacy)); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 1 {
+		t.Errorf("legacy merge added %d entries, want 1", l2.Len())
+	}
+}
+
+func TestPredictedEntryRoundTrips(t *testing.T) {
+	l := New()
+	k := GemmKey(128, 128, 128, tensor.FP16, "T4")
+	l.Record(k, Entry{TimeSeconds: 3e-6, Trials: 0, Predicted: true})
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	l2 := New()
+	if err := l2.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := l2.Lookup(k)
+	if !ok || !e.Predicted {
+		t.Errorf("predicted flag lost across save/load: %+v ok=%v", e, ok)
 	}
 }

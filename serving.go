@@ -128,6 +128,17 @@ type DeployOptions struct {
 	// MaxWait default for this model's requests. Ignored for
 	// single-bucket models.
 	ContinuousBatching bool
+	// TopK, when > 0, makes this model's variant compiles guided: the
+	// cost model in the server's shared tuning log ranks each
+	// workload's candidates and only the k best are measured. First-use
+	// (lazy) bucket compiles are where this bites — a cold bucket under
+	// live traffic tunes in a fraction of the full-sweep time. Until
+	// the shared model has trained, sweeps stay full.
+	TopK int
+	// TrustThreshold, when > 0, lets this model's variant compiles skip
+	// measurement entirely once the shared cost model's held-out
+	// confidence reaches it (see Options.TrustThreshold).
+	TrustThreshold float64
 }
 
 // Server is the multi-tenant serving endpoint: several models share
@@ -176,7 +187,12 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 		}
 		byName[d.Name] = d
 	}
-	var cache *tunelog.Log
+	// The server always keeps an in-memory tuning log: it is the home
+	// of the shared cost model that guided variant compiles rank by,
+	// and it lets every tenant's compiles learn from each other within
+	// the process even when nothing persists. With CacheFile set it is
+	// additionally loaded from (and persisted to) disk.
+	cache := tunelog.New()
 	if opts.CacheFile != "" {
 		var err error
 		if cache, err = loadCache(opts.CacheFile); err != nil {
@@ -214,7 +230,12 @@ func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
 		if err != nil {
 			return nil, err
 		}
-		res, err := compileTemplated(vg, dev, s.cache, s.opts.Jobs, false)
+		res, err := compileTemplated(vg, dev, templatedConfig{
+			cache:          s.cache,
+			jobs:           s.opts.Jobs,
+			topK:           opts.TopK,
+			trustThreshold: opts.TrustThreshold,
+		})
 		if err != nil {
 			return nil, err
 		}
