@@ -77,6 +77,7 @@ const (
 const (
 	FP16 = tensor.FP16
 	FP32 = tensor.FP32
+	INT8 = tensor.INT8
 )
 
 // T4 returns the paper's evaluation device: an NVIDIA Tesla T4 model.

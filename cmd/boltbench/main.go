@@ -55,6 +55,7 @@ func main() {
 	s.HeteroArtifact = "BENCH_pr5.json"
 	s.PaddingArtifact = "BENCH_pr6.json"
 	s.ColdstartArtifact = "BENCH_pr7.json"
+	s.PrecisionArtifact = "BENCH_pr8.json"
 	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
 
 	regen := func(id string) func() *bench.Table {

@@ -1,0 +1,153 @@
+// Deploy-time accuracy gating for mixed-precision serving variants.
+//
+// The RepVGG study above models *training-time* accuracy analytically;
+// this file is the generalized *deploy-time* check: before a reduced-
+// precision variant (FP16/INT8) is allowed to serve traffic, its
+// outputs on a calibration batch are compared against the FP32
+// RunUnplanned oracle of the same model, and the relative divergence
+// must clear the tenant's accuracy budget or the deploy falls back to
+// FP32 with a reported reason.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+
+	"bolt/internal/relay"
+	"bolt/internal/rt"
+	"bolt/internal/tensor"
+)
+
+// DivergenceReport records the outcome of gating one precision deploy.
+type DivergenceReport struct {
+	// Requested and Served are the tenant's asked-for compute precision
+	// and the one actually deployed (they differ only on fallback).
+	Requested tensor.DType
+	Served    tensor.DType
+	// Budget is the tenant's accuracy budget: the maximum tolerated
+	// relative L-inf divergence from the FP32 oracle. Non-positive
+	// means the deploy was not gated.
+	Budget float64
+	// Divergence is the measured max relative divergence across the
+	// calibration batches; -1 when no check ran (FP32 requested, or no
+	// budget set).
+	Divergence float64
+	// Batches is how many calibration batches were compared.
+	Batches int
+	// Fallback reports that the variant failed its budget and the
+	// tenant was deployed at FP32 instead; Reason says why.
+	Fallback bool
+	Reason   string
+}
+
+// String renders the report the way serving logs want it.
+func (r DivergenceReport) String() string {
+	if r.Fallback {
+		return fmt.Sprintf("requested %s, serving %s (%s)", r.Requested, r.Served, r.Reason)
+	}
+	if r.Divergence < 0 {
+		return fmt.Sprintf("serving %s (ungated)", r.Served)
+	}
+	return fmt.Sprintf("serving %s (divergence %.2e within budget %.2e)", r.Served, r.Divergence, r.Budget)
+}
+
+// CalibrationInputs builds a deterministic pseudo-random input batch
+// for the graph at its authored batch size. The same seed always
+// produces the same batch, so gate decisions are reproducible.
+func CalibrationInputs(g *relay.Graph, seed int64) map[string]*tensor.Tensor {
+	inputs := make(map[string]*tensor.Tensor, len(g.Inputs))
+	for i, in := range g.Inputs {
+		t := tensor.NewWithLayout(in.DType, in.Layout, in.Shape...)
+		t.FillRandom(seed+int64(i)*7919, 1)
+		inputs[in.Name] = t
+	}
+	return inputs
+}
+
+// Divergence is the relative L-inf distance between a candidate output
+// and the oracle output: max |cand - oracle| / max |oracle|. An
+// all-zero oracle compares on absolute error.
+func Divergence(candidate, oracle *tensor.Tensor) float64 {
+	diff := tensor.MaxAbsDiff(candidate, oracle)
+	var ref float64
+	for _, v := range oracle.Data() {
+		if a := math.Abs(float64(v)); a > ref {
+			ref = a
+		}
+	}
+	if ref == 0 {
+		return diff
+	}
+	return diff / ref
+}
+
+// GatePrecision decides which precision variant of g a tenant may
+// serve. It casts the graph to the requested precision, measures its
+// divergence from the FP32 oracle over `batches` seeded calibration
+// batches (candidate through the planned executor serving uses, oracle
+// through RunUnplanned), and returns the graph to deploy:
+//
+//   - requested FP32 (the oracle itself) or a non-positive budget
+//     skips the check;
+//   - divergence within budget returns the requested-precision graph;
+//   - over budget falls back to the FP32 graph with Fallback set and a
+//     human-readable Reason.
+//
+// compile lowers a graph for whatever device the caller deploys to;
+// GatePrecision itself is device-agnostic.
+func GatePrecision(g *relay.Graph, requested tensor.DType, budget float64, batches int, seed int64,
+	compile func(*relay.Graph) (*rt.Module, error)) (*relay.Graph, DivergenceReport, error) {
+
+	rep := DivergenceReport{Requested: requested, Served: requested, Budget: budget, Divergence: -1}
+	cand, err := relay.CastPrecision(g, requested)
+	if err != nil {
+		return nil, rep, err
+	}
+	if requested == tensor.FP32 || budget <= 0 {
+		return cand, rep, nil
+	}
+	if batches < 1 {
+		batches = 1
+	}
+
+	oracleGraph, err := relay.CastPrecision(g, tensor.FP32)
+	if err != nil {
+		return nil, rep, err
+	}
+	candMod, err := compile(cand)
+	if err != nil {
+		return nil, rep, fmt.Errorf("accuracy: compiling %s candidate: %w", requested, err)
+	}
+	oracleMod, err := compile(oracleGraph)
+	if err != nil {
+		return nil, rep, fmt.Errorf("accuracy: compiling FP32 oracle: %w", err)
+	}
+
+	var worst float64
+	for b := 0; b < batches; b++ {
+		inputs := CalibrationInputs(g, seed+int64(b)*104729)
+		got := candMod.Run(inputs)
+		want := oracleMod.RunUnplanned(inputs)
+		if d := Divergence(got, want); d > worst {
+			worst = d
+		}
+	}
+	rep.Divergence = worst
+	rep.Batches = batches
+	// compile may have optimized the probe graphs in place (fusion,
+	// layout rewrites are device-specific); hand the caller a fresh cast
+	// so the deployed source goes through its own per-device pipeline.
+	serve := requested
+	if worst > budget {
+		rep.Fallback = true
+		rep.Served = tensor.FP32
+		rep.Reason = fmt.Sprintf("%s divergence %.2e exceeds budget %.2e; falling back to float32",
+			requested, worst, budget)
+		serve = tensor.FP32
+	}
+	fresh, err := relay.CastPrecision(g, serve)
+	if err != nil {
+		return nil, rep, err
+	}
+	return fresh, rep, nil
+}

@@ -49,6 +49,13 @@ type Suite struct {
 	// cold-compile experiment writes its JSON artifact (boltbench points
 	// it at BENCH_pr7.json).
 	ColdstartArtifact string
+	// PrecisionRequests is the per-arm Poisson-stream size for the
+	// mixed-precision serving experiment (rounded down to full bucket-8
+	// batches).
+	PrecisionRequests int
+	// PrecisionArtifact, when set, is where the precision experiment
+	// writes its JSON artifact (boltbench points it at BENCH_pr8.json).
+	PrecisionArtifact string
 
 	seed     int64
 	e2eCache []e2eResult
@@ -60,7 +67,7 @@ func NewSuite(dev *gpu.Device) *Suite {
 		Dev: dev, Lib: cublaslike.New(dev),
 		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32,
 		ServingRequests: 96, MultiModelRequests: 64, HeteroRequests: 128,
-		PaddingRequests: 128, seed: 1,
+		PaddingRequests: 128, PrecisionRequests: 64, seed: 1,
 	}
 }
 
@@ -75,6 +82,7 @@ func NewQuickSuite(dev *gpu.Device) *Suite {
 	s.MultiModelRequests = 32
 	s.HeteroRequests = 48
 	s.PaddingRequests = 48
+	s.PrecisionRequests = 32
 	return s
 }
 

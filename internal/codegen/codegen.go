@@ -361,7 +361,7 @@ func (c *compiler) lowerPersistentGemm(n *relay.Node) (rt.Kernel, error) {
 	m := n.Inputs[0].Shape[0]
 	layers := make([]persistent.GemmLayer, len(n.Chain))
 	for i, cl := range n.Chain {
-		cfg, ok := relay.ResidenceConfig(cl.N, c.dev)
+		cfg, ok := relay.ResidenceConfigFor(cl.N, n.DType, c.dev)
 		if !ok {
 			return rt.Kernel{}, fmt.Errorf("persistent gemm layer %d: residence infeasible", i)
 		}
@@ -431,12 +431,15 @@ func (c *compiler) chainOperands(chain []relay.ChainLayer) func(env *rt.Env) (ws
 func (c *compiler) lowerPersistentConv(n *relay.Node) (rt.Kernel, error) {
 	layers := make([]persistent.ConvLayer, len(n.Chain))
 	for i, cl := range n.Chain {
-		cfg, ok := relay.ResidenceConfig(cl.Conv.OC, c.dev)
+		cfg, ok := relay.ResidenceConfigFor(cl.Conv.OC, n.DType, c.dev)
 		if !ok {
 			return rt.Kernel{}, fmt.Errorf("persistent conv layer %d: residence infeasible", i)
 		}
 		if cl.Conv.IC%cfg.AlignA != 0 {
 			a := relay.AlignFor(cl.Conv.IC)
+			if m := cutlass.MaxAlignment(n.DType); a > m {
+				a = m
+			}
 			cfg.AlignA, cfg.AlignB = a, a
 		}
 		layers[i] = persistent.ConvLayer{Shape: cl.Conv, Config: cfg, Epilogue: cl.Epilogue}

@@ -5,6 +5,7 @@ import (
 
 	"bolt/internal/cutlass"
 	"bolt/internal/gpu"
+	"bolt/internal/tensor"
 )
 
 // Features extracts the model's input vector for one templated-kernel
@@ -123,6 +124,22 @@ func Features(cfg cutlass.GemmConfig, m, n, k int, conv *cutlass.ConvShape, dev 
 		lgi(dev.SMs),
 		lg(dev.PeakTFLOPS(cfg.Op, cfg.DType)),
 		lg(dev.DRAMBWGBs),
+	}
+	// Dtype indicators: mixed-precision serving trains one model over
+	// FP32/FP16/INT8 candidates, and peak TFLOPS alone cannot separate
+	// e.g. element-size effects on the SIMT path from op-class effects.
+	// FP16 — the zoo's authored precision — is the all-zeros baseline,
+	// so FP16-only training data yields the exact pre-mixed-precision
+	// regression (all-zero columns draw zero weight). (Growing the
+	// vector is safe: the predictor drops persisted observations whose
+	// dimension no longer matches.)
+	switch cfg.DType {
+	case tensor.FP32:
+		f = append(f, 1, 0)
+	case tensor.INT8:
+		f = append(f, 0, 1)
+	default:
+		f = append(f, 0, 0)
 	}
 	if conv != nil {
 		f = append(f, 1, lgi(conv.KH*conv.KW), lgi(conv.StrideH*conv.StrideW))

@@ -194,6 +194,11 @@ func (c *Conv2D) RunInto(dst *tensor.Tensor, x, w, bias *tensor.Tensor) *tensor.
 			}
 		}
 	})
+	// INT8 outputs are quantized dynamically with a serial max-abs scan
+	// (see Gemm.run) so the result is partitioning-independent.
+	if c.Epilogue.OutDType == tensor.INT8 {
+		out.CalibrateScale()
+	}
 	return out
 }
 
@@ -293,6 +298,10 @@ func ReferenceConv2D(s ConvShape, x, w, bias *tensor.Tensor, epi Epilogue) *tens
 			}
 		}
 	}
-	out.Quantize()
+	if epi.OutDType == tensor.INT8 {
+		out.CalibrateScale() // match the templated kernels' dynamic scale
+	} else {
+		out.Quantize()
+	}
 	return out
 }

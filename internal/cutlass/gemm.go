@@ -132,6 +132,14 @@ func (g *Gemm) run(out *tensor.Tensor, a, b, c *tensor.Tensor) (*tensor.Tensor, 
 	})
 	_ = rowsDone
 
+	// INT8 outputs are quantized dynamically: a serial max-abs scan
+	// picks the per-tensor symmetric scale (maxAbs/127), then the whole
+	// output snaps onto that grid. Doing it as a post-pass keeps the
+	// result independent of the parallelRows partitioning.
+	if g.Epilogue.OutDType == tensor.INT8 {
+		out.CalibrateScale()
+	}
+
 	var reduced *tensor.Tensor
 	if g.Epilogue.ReduceColumns {
 		reduced = tensor.New(tensor.FP32, n)
@@ -310,7 +318,11 @@ func ReferenceGemm(a, b, c *tensor.Tensor, epi Epilogue) *tensor.Tensor {
 			od[i*n+j] = epi.apply(float32(sum), cv)
 		}
 	}
-	out.Quantize()
+	if epi.OutDType == tensor.INT8 {
+		out.CalibrateScale() // match the templated kernels' dynamic scale
+	} else {
+		out.Quantize()
+	}
 	return out
 }
 

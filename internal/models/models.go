@@ -263,6 +263,25 @@ func RepVGGAt(variant string, batch, size int, opts RepVGGOptions) *relay.Graph 
 	return b.Build(b.Softmax(x))
 }
 
+// BERTMLP builds the BERT encoder FFN block as a servable graph: rows
+// of the hidden dimension through the up-projection — whose BiasAdd +
+// GELU ride the GEMM's epilogue after fusion — and back down. This is
+// the Figure-1 workload in graph form, the served counterpart of the
+// standalone BERTGemms kernels below.
+// Weights are eagerly initialized (no LazyWeights): the mixed-precision
+// accuracy gate diffs real arithmetic against the FP32 oracle, which is
+// vacuous on zero weights.
+func BERTMLP(batch, hidden, ffn int) *relay.Graph {
+	b := relay.NewBuilder()
+	x := b.Input("tokens", tensor.FP16, batch, hidden)
+	x = b.Dense(x, b.Weight("up_w", hidden, ffn))
+	x = b.BiasAdd(x, b.Weight("up_b", ffn))
+	x = b.Activation(x, cutlass.ActGELU)
+	x = b.Dense(x, b.Weight("down_w", ffn, hidden))
+	x = b.BiasAdd(x, b.Weight("down_b", hidden))
+	return b.Build(x)
+}
+
 // BERTGemms returns the encoder GEMM workloads of Figures 1 and 8a for
 // the given batch size and sequence length: M = batch*seq rows through
 // the attention/FFN projections of BERT-base (hidden 768, FFN 3072).

@@ -190,13 +190,31 @@ func alignmentFor(n int) int {
 	return 1
 }
 
+// alignFor caps the divisibility-derived alignment at the dtype's
+// 128-bit vector width (FP32 loads at most 4 elements per ldg.128).
+func alignFor(n int, dt tensor.DType) int {
+	a := alignmentFor(n)
+	if m := cutlass.MaxAlignment(dt); a > m {
+		a = m
+	}
+	return a
+}
+
 // GemmCandidates enumerates the architecture-guided configurations for
-// a GEMM workload: tens of combinations, not thousands.
+// a GEMM workload: tens of combinations, not thousands. FP16 and INT8
+// workloads target the tensor cores; FP32 has no tensor-core path on
+// any modeled architecture, so its candidates are SIMT (CUDA-core)
+// kernels with a degenerate 1x1x1 instruction tile.
 func (p *Profiler) GemmCandidates(w GemmWorkload) []cutlass.GemmConfig {
 	inst := cutlass.InstructionShape(p.dev.Arch)
-	alignA := alignmentFor(w.K)
-	alignB := alignmentFor(w.N)
-	alignC := alignmentFor(w.N)
+	op := gpu.OpClassTensorOp
+	if w.DType == tensor.FP32 {
+		op = gpu.OpClassSIMT
+		inst = cutlass.Shape3{M: 1, N: 1, K: 1}
+	}
+	alignA := alignFor(w.K, w.DType)
+	alignB := alignFor(w.N, w.DType)
+	alignC := alignFor(w.N, w.DType)
 
 	// Threadblock shapes by problem size class: small problems need
 	// small threadblocks to launch enough blocks (tuning guideline 3).
@@ -240,7 +258,7 @@ func (p *Profiler) GemmCandidates(w GemmWorkload) []cutlass.GemmConfig {
 							TB: tb, Warp: warp, Inst: inst,
 							Stages: st, SwizzleLog: sw,
 							AlignA: alignA, AlignB: alignB, AlignC: alignC,
-							Op: gpu.OpClassTensorOp, DType: w.DType,
+							Op: op, DType: w.DType,
 						}
 						if cfg.Validate(p.dev) == nil && cfg.SupportsProblem(w.M, w.N, w.K) {
 							out = append(out, cfg)
@@ -434,8 +452,8 @@ func (p *Profiler) ConvCandidates(w ConvWorkload) []cutlass.GemmConfig {
 	s := w.Shape
 	m, n, k := s.ImplicitGemm()
 	cands := p.GemmCandidates(GemmWorkload{M: m, N: n, K: k, DType: w.DType})
-	ica := alignmentFor(s.IC)
-	oca := alignmentFor(s.OC)
+	ica := alignFor(s.IC, w.DType)
+	oca := alignFor(s.OC, w.DType)
 	filtered := cands[:0]
 	for _, cfg := range cands {
 		cfg.AlignA, cfg.AlignB, cfg.AlignC = ica, ica, oca

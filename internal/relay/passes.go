@@ -67,10 +67,21 @@ func FoldBatchNorm(g *Graph) int {
 				wNew.Data()[i*per+j] *= scale[i]
 			}
 		}
-		wNew.Quantize()
+		if wNew.DType() == tensor.INT8 {
+			// Per-channel BN scaling moved the weight range; re-pick the
+			// per-tensor quantization scale instead of snapping to the
+			// pre-fold grid.
+			wNew.CalibrateScale()
+		} else {
+			wNew.Quantize()
+		}
 		wNode := &Node{ID: g.NewID(), Op: OpConstant, Name: w.Name + "_bnfold",
 			Shape: wNew.Shape().Clone(), DType: wNew.DType(), Layout: wNew.Layout(), Value: wNew}
-		bias := tensor.FromData(tensor.FP16, shift, oc)
+		bdt := n.DType
+		if bdt == tensor.INT8 {
+			bdt = tensor.FP16 // the int8 grid would destroy small BN shifts
+		}
+		bias := tensor.FromData(bdt, shift, oc)
 		bNode := &Node{ID: g.NewID(), Op: OpConstant, Name: w.Name + "_bnbias",
 			Shape: bias.Shape().Clone(), DType: bias.DType(), Layout: bias.Layout(), Value: bias}
 		conv.Inputs[1] = wNode
@@ -273,7 +284,7 @@ func tryFuseGemmChain(g *Graph, chain []*Node, d *gpu.Device) bool {
 	for i, n := range chain {
 		k := n.Inputs[1].Shape[0]
 		nn := n.Inputs[1].Shape[1]
-		cfg, ok := ResidenceConfig(nn, d)
+		cfg, ok := ResidenceConfigFor(nn, n.DType, d)
 		if !ok {
 			return false
 		}
@@ -307,12 +318,16 @@ func tryFuseGemmChain(g *Graph, chain []*Node, d *gpu.Device) bool {
 func tryFuseConvChain(g *Graph, chain []*Node, d *gpu.Device) bool {
 	layers := make([]persistent.ConvLayer, len(chain))
 	for i, n := range chain {
-		cfg, ok := ResidenceConfig(n.Conv.OC, d)
+		cfg, ok := ResidenceConfigFor(n.Conv.OC, n.DType, d)
 		if !ok {
 			return false
 		}
 		if n.Conv.IC%cfg.AlignA != 0 {
-			cfg.AlignA, cfg.AlignB = AlignFor(n.Conv.IC), AlignFor(n.Conv.IC)
+			a := AlignFor(n.Conv.IC)
+			if m := cutlass.MaxAlignment(n.DType); a > m {
+				a = m
+			}
+			cfg.AlignA, cfg.AlignB = a, a
 		}
 		layers[i] = persistent.ConvLayer{Shape: n.Conv, Config: cfg, Epilogue: epilogueOf(n)}
 	}
@@ -342,25 +357,47 @@ func tryFuseConvChain(g *Graph, chain []*Node, d *gpu.Device) bool {
 	return true
 }
 
-// ResidenceConfig builds a residence-compatible tile config for output
-// extent n, or reports that residence is infeasible (N too large for
-// one threadblock tile). Exported for the codegen stage, which must
-// rebuild the same configurations when lowering persistent nodes.
+// ResidenceConfig builds a residence-compatible FP16 tile config for
+// output extent n — see ResidenceConfigFor.
 func ResidenceConfig(n int, d *gpu.Device) (cutlass.GemmConfig, bool) {
+	return ResidenceConfigFor(n, tensor.FP16, d)
+}
+
+// ResidenceConfigFor builds a residence-compatible tile config for
+// output extent n in the given dtype, or reports that residence is
+// infeasible (N too large for one threadblock tile, or the dtype's
+// staging does not fit in shared memory). FP32 chains fuse on the
+// SIMT path (no FP32 tensor cores). Exported for the codegen stage,
+// which must rebuild the same configurations when lowering persistent
+// nodes.
+func ResidenceConfigFor(n int, dt tensor.DType, d *gpu.Device) (cutlass.GemmConfig, bool) {
 	tbN := (n + 7) / 8 * 8
 	if tbN < 8 {
 		tbN = 8
 	}
+	op := gpu.OpClassTensorOp
+	inst := cutlass.InstructionShape(d.Arch)
+	if dt == tensor.FP32 {
+		op = gpu.OpClassSIMT
+		inst = cutlass.Shape3{M: 1, N: 1, K: 1}
+	}
+	align := cutlass.MaxAlignment(dt)
+	if align > 8 {
+		align = 8
+	}
 	cfg := cutlass.GemmConfig{
 		TB:     cutlass.Shape3{M: 64, N: tbN, K: 32},
 		Warp:   cutlass.Shape3{M: 16, N: tbN, K: 32},
-		Inst:   cutlass.InstructionShape(d.Arch),
+		Inst:   inst,
 		Stages: 2, SwizzleLog: 0,
-		AlignA: 8, AlignB: 8, AlignC: 8,
-		Op: gpu.OpClassTensorOp, DType: tensor.FP16,
+		AlignA: align, AlignB: align, AlignC: align,
+		Op: op, DType: dt,
 	}
-	if n%8 != 0 {
+	if n%align != 0 {
 		a := AlignFor(n)
+		if m := cutlass.MaxAlignment(dt); a > m {
+			a = m
+		}
 		cfg.AlignA, cfg.AlignB, cfg.AlignC = a, a, a
 	}
 	// Quick feasibility probe: the shared-memory staging must fit.

@@ -1,0 +1,133 @@
+package relay
+
+import (
+	"fmt"
+
+	"bolt/internal/tensor"
+)
+
+// CastPrecision clones the graph with its compute precision rewritten
+// to dt — the precision-rewrite pass behind per-tenant FP32/FP16/INT8
+// serving variants. The source graph is never modified, and unlike
+// Rebatch the clone does NOT share parameter constants: weights are
+// cast copies, so one source model can back variants of every
+// precision simultaneously.
+//
+// The rewrite rules per target dtype:
+//
+//   - FP32: every node and every constant is annotated/cast to FP32.
+//     Widening from the authored FP16 grid is lossless, which is what
+//     makes the FP32 variant usable as the accuracy oracle.
+//   - FP16: every node and constant follows the authored scheme of the
+//     model zoo (cast to the FP16 grid).
+//   - INT8: weight-side quantization with float glue ("W8" serving).
+//     Only the GEMM/Conv anchors — where the FLOPs and the tensor-core
+//     pricing live — are annotated INT8; their matmul/filter weights
+//     are symmetrically quantized with a per-tensor calibrated scale
+//     (maxAbs/127). Small per-channel vectors (biases, batch-norm
+//     parameters) and elementwise glue keep the authored dtype: the
+//     INT8 grid would destroy them and they are memory-, not
+//     compute-bound, so nothing is gained by quantizing them.
+//
+// Graph inputs always keep their authored dtype: the request tensors a
+// serving client submits are part of the model's contract and do not
+// change when the tenant picks a cheaper compute precision.
+func CastPrecision(g *Graph, dt tensor.DType) (*Graph, error) {
+	switch dt {
+	case tensor.FP16, tensor.FP32, tensor.INT8:
+	default:
+		return nil, fmt.Errorf("relay: cast to unsupported precision %v", dt)
+	}
+	consumers := g.Consumers()
+
+	clone := make(map[*Node]*Node, len(g.Nodes))
+	ng := &Graph{nextID: g.nextID}
+	for _, n := range g.Nodes {
+		c := *n // shallow copy; immutable attrs carry over
+		c.Inputs = make([]*Node, len(n.Inputs))
+		for i, in := range n.Inputs {
+			cin, ok := clone[in]
+			if !ok {
+				return nil, fmt.Errorf("relay: cast: node %s uses %s before definition", n, in)
+			}
+			c.Inputs[i] = cin
+		}
+		c.Shape = n.Shape.Clone()
+		if n.Epilogue != nil {
+			epi := *n.Epilogue
+			c.Epilogue = &epi
+		}
+		if len(n.Chain) > 0 {
+			c.Chain = append([]ChainLayer(nil), n.Chain...)
+			for i := range c.Chain {
+				c.Chain[i].Weight = clone[n.Chain[i].Weight]
+				if n.Chain[i].Bias != nil {
+					c.Chain[i].Bias = clone[n.Chain[i].Bias]
+				}
+			}
+		}
+
+		switch {
+		case n.Op == OpInput:
+			// Authored activation dtype is the client contract.
+		case n.Op == OpConstant:
+			if nd := castConstant(n, consumers[n.ID], dt); nd != nil {
+				c.Value = nd
+				c.DType = nd.DType()
+			}
+		case dt != tensor.INT8 || n.IsAnchor():
+			c.DType = dt
+			if c.Epilogue != nil {
+				c.Epilogue.OutDType = dt
+			}
+			for i := range c.Chain {
+				c.Chain[i].Epilogue.OutDType = dt
+			}
+		}
+
+		clone[n] = &c
+		ng.Nodes = append(ng.Nodes, &c)
+	}
+	for _, in := range g.Inputs {
+		ng.Inputs = append(ng.Inputs, clone[in])
+	}
+	ng.Output = clone[g.Output]
+	if err := ng.Validate(); err != nil {
+		return nil, fmt.Errorf("relay: cast: %w", err)
+	}
+	return ng, nil
+}
+
+// castConstant returns the cast copy of a constant's value, or nil to
+// keep the original (shared) tensor. Under INT8 only matmul/filter
+// weights — constants consumed as the weight operand of an anchor —
+// are quantized, with a per-tensor calibrated scale.
+func castConstant(n *Node, uses []*Node, dt tensor.DType) *tensor.Tensor {
+	if n.Value == nil {
+		return nil
+	}
+	if dt == tensor.INT8 {
+		if !isAnchorWeight(n, uses) {
+			return nil
+		}
+		return n.Value.AsType(tensor.INT8)
+	}
+	if n.Value.DType() == dt {
+		return nil
+	}
+	return n.Value.AsType(dt)
+}
+
+// isAnchorWeight reports whether the constant is the weight operand of
+// some GEMM/Conv anchor (bias operands stay unquantized).
+func isAnchorWeight(n *Node, uses []*Node) bool {
+	for _, u := range uses {
+		switch u.Op {
+		case OpDense, OpConv2D:
+			if u.Inputs[1] == n {
+				return true
+			}
+		}
+	}
+	return false
+}

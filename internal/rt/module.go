@@ -200,8 +200,25 @@ func (m *Module) RunRows(inputs map[string]*tensor.Tensor, rows int) *tensor.Ten
 // every kernel allocates a fresh output and nothing is recycled. It is
 // the oracle the planned executor is validated against bit-for-bit,
 // and is safe for concurrent callers.
+//
+// For memory-planned modules each destination is freshly allocated
+// with the node's annotated dtype — the same typing the planned
+// arena views use. Under mixed precision a node's dtype can differ
+// from its operand's (an INT8 anchor feeding float glue), and letting
+// each op allocate from its input's dtype would quantize on the wrong
+// grid and diverge from the planned path.
 func (m *Module) RunUnplanned(inputs map[string]*tensor.Tensor) *tensor.Tensor {
-	return m.exec(NewEnv(len(m.Kernels), inputs), nil)
+	if m.Plan == nil {
+		return m.exec(NewEnv(len(m.Kernels), inputs), nil)
+	}
+	dst := make([]*tensor.Tensor, len(m.Kernels))
+	for i := range m.Kernels {
+		n := m.Kernels[i].Node
+		if _, ok := m.Plan.Assign[n.ID]; ok {
+			dst[i] = tensor.NewWithLayout(n.DType, n.Layout, n.Shape...)
+		}
+	}
+	return m.exec(NewEnv(len(m.Kernels), inputs), dst)
 }
 
 func (m *Module) exec(env *Env, dst []*tensor.Tensor) *tensor.Tensor {

@@ -30,6 +30,7 @@ func StackBatch(samples []*Tensor) *Tensor {
 	shape := first.shape.Clone()
 	shape[0] = len(samples)
 	out := NewWithLayout(first.dtype, first.layout, shape...)
+	out.scale = first.scale
 	per := sampleElems(first)
 	for i, s := range samples {
 		if !s.shape.Equal(first.shape) || s.dtype != first.dtype || s.layout != first.layout {
@@ -55,6 +56,7 @@ func PadBatch(t *Tensor, rows int) *Tensor {
 	shape := t.shape.Clone()
 	shape[0] = rows
 	out := NewWithLayout(t.dtype, t.layout, shape...)
+	out.scale = t.scale
 	copy(out.data, t.data) // the tail stays zero
 	return out
 }
@@ -70,7 +72,7 @@ func StripBatch(t *Tensor, rows int) *Tensor {
 	}
 	shape := t.shape.Clone()
 	shape[0] = rows
-	out := &Tensor{shape: shape, dtype: t.dtype, layout: t.layout}
+	out := &Tensor{shape: shape, dtype: t.dtype, layout: t.layout, scale: t.scale}
 	per := sampleElems(t)
 	out.data = append([]float32(nil), t.data[:rows*per]...)
 	return out
@@ -86,7 +88,7 @@ func SliceBatch(t *Tensor, i int) *Tensor {
 	}
 	shape := t.shape.Clone()
 	shape[0] = 1
-	out := &Tensor{shape: shape, dtype: t.dtype, layout: t.layout}
+	out := &Tensor{shape: shape, dtype: t.dtype, layout: t.layout, scale: t.scale}
 	per := sampleElems(t)
 	out.data = append([]float32(nil), t.data[i*per:(i+1)*per]...)
 	return out

@@ -82,3 +82,72 @@ func TestPadStripBatch(t *testing.T) {
 	}()
 	PadBatch(padded, 2)
 }
+
+// TestBatchHelpersPreserveDType pins that the padded-dispatch helpers
+// keep the element type intact for the mixed-precision serving path:
+// an FP16 or INT8 request that is stacked, padded, run, stripped and
+// sliced must come back in the dtype it arrived in, with the FP16
+// grid untouched.
+func TestBatchHelpersPreserveDType(t *testing.T) {
+	for _, dt := range []DType{FP16, INT8} {
+		samples := make([]*Tensor, 3)
+		for i := range samples {
+			samples[i] = New(dt, 1, 5)
+			samples[i].FillRandom(int64(i+1), 2)
+		}
+		batch := StackBatch(samples)
+		padded := PadBatch(batch, 8)
+		stripped := StripBatch(padded, 3)
+		slice := SliceBatch(padded, 1)
+		for _, got := range []*Tensor{batch, padded, stripped, slice} {
+			if got.DType() != dt {
+				t.Fatalf("%v: helper output dtype %v, want %v", dt, got.DType(), dt)
+			}
+		}
+		// Round-tripping must be lossless: every real row survives
+		// pad+strip bit-identically (values are already on the dtype grid,
+		// so any requantization drift would be a bug).
+		for j, v := range batch.Data() {
+			if stripped.Data()[j] != v {
+				t.Fatalf("%v: pad+strip changed element %d: %g -> %g", dt, j, v, stripped.Data()[j])
+			}
+		}
+		for j, v := range samples[1].Data() {
+			if slice.Data()[j] != v {
+				t.Fatalf("%v: slice changed element %d", dt, j)
+			}
+		}
+	}
+}
+
+// TestBatchHelpersPreserveScale pins that the INT8 quantization scale
+// rides along through every batch helper — losing it would silently
+// rescale a quantized tenant's responses.
+func TestBatchHelpersPreserveScale(t *testing.T) {
+	samples := make([]*Tensor, 2)
+	for i := range samples {
+		samples[i] = New(INT8, 1, 4)
+		samples[i].FillRandom(int64(i+1), 1)
+	}
+	samples[0].CalibrateScale()
+	// A batch shares one scale: requantize the second sample onto it.
+	samples[1].SetScale(samples[0].Scale())
+	samples[1].Quantize()
+	want := samples[0].Scale()
+	if want == 1 {
+		t.Fatalf("calibration left the default scale; test is vacuous")
+	}
+	batch := StackBatch(samples)
+	padded := PadBatch(batch, 4)
+	for name, got := range map[string]*Tensor{
+		"StackBatch": batch,
+		"PadBatch":   padded,
+		"StripBatch": StripBatch(padded, 2),
+		"SliceBatch": SliceBatch(padded, 0),
+		"Clone":      padded.Clone(),
+	} {
+		if got.Scale() != want {
+			t.Errorf("%s: scale %g, want %g", name, got.Scale(), want)
+		}
+	}
+}

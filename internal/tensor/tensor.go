@@ -135,6 +135,11 @@ type Tensor struct {
 	dtype  DType
 	layout Layout
 	data   []float32
+	// scale is the symmetric INT8 quantization step: stored values are
+	// scale * q with q an integer in [-128, 127]. Zero means unset and
+	// is treated as 1 (the plain integer grid), so zero-valued Tensor
+	// literals keep their historical semantics.
+	scale float32
 }
 
 // New allocates a zero tensor of the given dtype and shape with the
@@ -225,9 +230,53 @@ func (t *Tensor) offset(idx []int) int {
 
 // Clone deep-copies the tensor.
 func (t *Tensor) Clone() *Tensor {
-	c := &Tensor{shape: t.shape.Clone(), dtype: t.dtype, layout: t.layout}
+	c := &Tensor{shape: t.shape.Clone(), dtype: t.dtype, layout: t.layout, scale: t.scale}
 	c.data = append([]float32(nil), t.data...)
 	return c
+}
+
+// Scale returns the INT8 quantization step (1 when unset). It is
+// meaningful only for INT8 tensors but always safe to read.
+func (t *Tensor) Scale() float32 {
+	if t.scale == 0 {
+		return 1
+	}
+	return t.scale
+}
+
+// SetScale sets the INT8 quantization step without requantizing the
+// data. Non-positive scales reset to the unset (grid-of-1) state.
+func (t *Tensor) SetScale(s float32) {
+	if s <= 0 {
+		s = 0
+	}
+	t.scale = s
+}
+
+// CalibrateScale chooses the symmetric per-tensor scale that maps the
+// tensor's max-abs value onto the INT8 grid (maxAbs/127) and then
+// quantizes onto that grid. All-zero tensors keep scale 1. Only INT8
+// tensors are affected.
+func (t *Tensor) CalibrateScale() {
+	if t.dtype != INT8 {
+		return
+	}
+	var maxAbs float32
+	for _, v := range t.data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		t.scale = 0
+	} else {
+		t.scale = maxAbs / 127
+	}
+	t.Quantize()
 }
 
 // Quantize re-rounds all elements through the tensor's dtype. It is a
@@ -237,14 +286,15 @@ func (t *Tensor) Quantize() {
 	case FP16:
 		fp16.Quantize(t.data)
 	case INT8:
+		s := float64(t.Scale())
 		for i, v := range t.data {
-			q := math.Round(float64(v))
+			q := math.Round(float64(v) / s)
 			if q > 127 {
 				q = 127
 			} else if q < -128 {
 				q = -128
 			}
-			t.data[i] = float32(q)
+			t.data[i] = float32(q * s)
 		}
 	}
 }
@@ -270,10 +320,17 @@ func (t *Tensor) FillRandom(seed int64, scale float32) {
 	t.Quantize()
 }
 
-// AsType returns a copy converted to the requested dtype.
+// AsType returns a copy converted to the requested dtype. Converting
+// to INT8 without a scale already set calibrates one from the data
+// (maxAbs/127) — quantizing on the unset grid-of-1 would zero any
+// tensor whose values sit below 0.5.
 func (t *Tensor) AsType(d DType) *Tensor {
 	c := t.Clone()
 	c.dtype = d
+	if d == INT8 && c.scale == 0 {
+		c.CalibrateScale()
+		return c
+	}
 	c.Quantize()
 	return c
 }

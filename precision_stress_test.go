@@ -1,0 +1,165 @@
+package bolt_test
+
+// Mixed-precision serving validation (PR 8): precision-rewritten
+// tenant variants on a heterogeneous pool, the deploy-time accuracy
+// gate, and the bit-identity contracts — FP32 and default-precision
+// tenants against per-device RunUnplanned oracles, INT8 against the
+// planned-vs-unplanned invariant. Run with -race.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bolt"
+	"bolt/internal/relay"
+	"bolt/internal/tensor"
+)
+
+// precisionOracles compiles a CastPrecision clone of buildTiny1 at dt
+// for each pool device and returns the modules keyed by device name —
+// the per-device RunUnplanned oracle a served output is checked
+// against.
+func precisionOracles(t *testing.T, dt tensor.DType, devs []*bolt.Device) map[string]*bolt.Module {
+	t.Helper()
+	oracles := map[string]*bolt.Module{}
+	for _, dev := range devs {
+		cg, err := relay.CastPrecision(buildTiny1(), dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bolt.Compile(cg, dev, bolt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[dev.Name] = res.Module
+	}
+	return oracles
+}
+
+// TestServerMixedPrecisionServing deploys one source model as five
+// tenants — default, FP32, FP16, INT8, and an INT8 request whose
+// accuracy budget forces the FP32 fallback — on a {T4, A100} pool and
+// floods them concurrently. Every response must be bit-identical to
+// the RunUnplanned oracle of that tenant's *served* precision compiled
+// for the device that answered; the deploy reports must record the
+// gate decisions.
+func TestServerMixedPrecisionServing(t *testing.T) {
+	devs := []*bolt.Device{bolt.T4(), bolt.A100()}
+	srv, err := bolt.NewServer(bolt.T4(), bolt.ServerOptions{
+		Devices:     devs,
+		BatchWindow: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// INT8 tenants serve bucket 1 only: dynamic activation scales are
+	// per-tensor over the whole batch, so batching is not row-independent
+	// at INT8 and a single-sample oracle is only exact for batch 1.
+	tenants := []struct {
+		name   string
+		opts   bolt.DeployOptions
+		served tensor.DType
+	}{
+		{"asis", bolt.DeployOptions{Buckets: []int{1, 2}}, tensor.FP16},
+		{"fp32", bolt.DeployOptions{Buckets: []int{1, 2}, Precision: bolt.PrecisionFP32}, tensor.FP32},
+		{"fp16", bolt.DeployOptions{Buckets: []int{1, 2}, Precision: bolt.PrecisionFP16, AccuracyBudget: 0.05}, tensor.FP16},
+		{"int8", bolt.DeployOptions{Buckets: []int{1}, Precision: bolt.PrecisionINT8, AccuracyBudget: 0.5}, tensor.INT8},
+		{"fallback", bolt.DeployOptions{Buckets: []int{1, 2}, Precision: bolt.PrecisionINT8, AccuracyBudget: 1e-9}, tensor.FP32},
+	}
+	for _, tn := range tenants {
+		if err := srv.Deploy(tn.name, buildTiny1(), tn.opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Gate decisions first: they are deterministic, so assert exactly.
+	if _, ok := srv.DeployReport("asis"); ok {
+		t.Error("default-precision tenant must have no deploy report")
+	}
+	if rep, ok := srv.DeployReport("fp32"); !ok || rep.Fallback || rep.Divergence >= 0 {
+		t.Errorf("fp32 report = %+v, ok=%v: want ungated, no fallback", rep, ok)
+	}
+	rep16, ok := srv.DeployReport("fp16")
+	if !ok || rep16.Fallback {
+		t.Fatalf("fp16 report = %+v, ok=%v: want gated pass", rep16, ok)
+	}
+	if rep16.Divergence <= 0 || rep16.Divergence > 0.05 {
+		t.Errorf("fp16 divergence %g, want in (0, 0.05]", rep16.Divergence)
+	}
+	rep8, ok := srv.DeployReport("int8")
+	if !ok || rep8.Fallback {
+		t.Fatalf("int8 report = %+v, ok=%v: want gated pass", rep8, ok)
+	}
+	// On this tiny model the INT8 weight-grid error is averaged away by
+	// the pooling tail and swallowed by FP16 glue rounding, so INT8 can
+	// tie FP16's divergence; it must still be nonzero and in budget.
+	if rep8.Divergence <= 0 || rep8.Divergence > 0.5 {
+		t.Errorf("int8 divergence %g, want in (0, 0.5]", rep8.Divergence)
+	}
+	repFB, ok := srv.DeployReport("fallback")
+	if !ok || !repFB.Fallback || repFB.Served != tensor.FP32 {
+		t.Fatalf("fallback report = %+v, ok=%v: want FP32 fallback", repFB, ok)
+	}
+	if !strings.Contains(repFB.Reason, "falling back to float32") {
+		t.Errorf("fallback reason %q does not explain the fallback", repFB.Reason)
+	}
+	t.Logf("gate: fp16 %s | int8 %s | fallback %s", rep16, rep8, repFB)
+
+	oracles := map[tensor.DType]map[string]*bolt.Module{
+		tensor.FP16: precisionOracles(t, tensor.FP16, devs),
+		tensor.FP32: precisionOracles(t, tensor.FP32, devs),
+		tensor.INT8: precisionOracles(t, tensor.INT8, devs),
+	}
+	// The default tenant serves the graph exactly as authored — its
+	// oracle is the plain compile, not a CastPrecision clone.
+	asisOracles := map[string]*bolt.Module{}
+	for _, dev := range devs {
+		res, err := bolt.Compile(buildTiny1(), dev, bolt.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asisOracles[dev.Name] = res.Module
+	}
+
+	const perTenant = 12
+	var wg sync.WaitGroup
+	for _, tn := range tenants {
+		wg.Add(1)
+		go func(name string, served tensor.DType) {
+			defer wg.Done()
+			byDev := oracles[served]
+			if name == "asis" {
+				byDev = asisOracles
+			}
+			for i := 0; i < perTenant; i++ {
+				in := bolt.NewTensor(bolt.FP16, 1, 8, 16, 16)
+				in.FillRandom(int64(1+i), 1)
+				inputs := map[string]*bolt.Tensor{"image": in}
+				ch, err := srv.InferAsync(name, inputs, bolt.InferOptions{Priority: bolt.PriorityBulk})
+				if err != nil {
+					t.Errorf("%s request %d: %v", name, i, err)
+					return
+				}
+				res := <-ch
+				if res.Err != nil {
+					t.Errorf("%s request %d: %v", name, i, res.Err)
+					return
+				}
+				mod, okDev := byDev[res.Device]
+				if !okDev {
+					t.Errorf("%s request %d served by unknown device %q", name, i, res.Device)
+					return
+				}
+				if d := tensor.MaxAbsDiff(res.Output, mod.RunUnplanned(inputs)); d != 0 {
+					t.Errorf("%s request %d on %s: diff %g from %v oracle", name, i, res.Device, d, served)
+					return
+				}
+			}
+		}(tn.name, tn.served)
+	}
+	wg.Wait()
+}

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"time"
 
+	"bolt/internal/accuracy"
 	"bolt/internal/gpu"
 	"bolt/internal/relay"
 	"bolt/internal/rt"
 	"bolt/internal/serve"
+	"bolt/internal/tensor"
 	"bolt/internal/tunelog"
 )
 
@@ -97,6 +99,66 @@ type ServerOptions struct {
 	Jobs int
 }
 
+// Precision selects the compute precision a tenant's variants are
+// compiled at. The zero value serves the model exactly as authored —
+// bit-identical to servers that predate mixed precision.
+type Precision int
+
+const (
+	// PrecisionDefault compiles the graph as authored (no rewrite).
+	PrecisionDefault Precision = iota
+	// PrecisionFP32 serves CUDA-core FP32 variants — also the oracle
+	// every reduced-precision deploy is gated against.
+	PrecisionFP32
+	// PrecisionFP16 serves tensor-core FP16 variants.
+	PrecisionFP16
+	// PrecisionINT8 serves tensor-core INT8 variants (weight-side
+	// symmetric quantization with dynamically scaled activations).
+	PrecisionINT8
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case PrecisionDefault:
+		return "default"
+	case PrecisionFP32:
+		return "float32"
+	case PrecisionFP16:
+		return "float16"
+	case PrecisionINT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("precision(%d)", int(p))
+	}
+}
+
+// dtype maps the precision to its tensor dtype; ok is false for
+// PrecisionDefault (no rewrite requested).
+func (p Precision) dtype() (tensor.DType, bool) {
+	switch p {
+	case PrecisionFP32:
+		return tensor.FP32, true
+	case PrecisionFP16:
+		return tensor.FP16, true
+	case PrecisionINT8:
+		return tensor.INT8, true
+	}
+	return 0, false
+}
+
+// DeployReport records how a tenant's precision request was resolved:
+// the served precision, the measured calibration divergence, and the
+// fallback reason when the accuracy gate rejected the variant.
+type DeployReport = accuracy.DivergenceReport
+
+// calibration* fix the accuracy gate's sampling: deterministic seeded
+// batches so gate decisions are reproducible across runs and pools.
+const (
+	calibrationBatches = 2
+	calibrationSeed    = 20517
+)
+
 // DeployOptions configures one model's batching and scheduling share.
 type DeployOptions struct {
 	// Buckets are the allowed batch sizes (bucket 1 is implied). Nil
@@ -139,6 +201,19 @@ type DeployOptions struct {
 	// measurement entirely once the shared cost model's held-out
 	// confidence reaches it (see Options.TrustThreshold).
 	TrustThreshold float64
+	// Precision requests FP32/FP16/INT8 variants for this tenant: the
+	// source graph is precision-rewritten (weights cast, compute dtypes
+	// annotated) before any bucket variant compiles, so every
+	// (device, bucket) variant — and therefore the EFT dispatcher's
+	// cost for it — is priced at that precision's tensor-core (or
+	// CUDA-core) rate. The default serves the graph as authored.
+	Precision Precision
+	// AccuracyBudget gates reduced-precision deploys: the requested
+	// variant's outputs on deterministic calibration batches must stay
+	// within this relative L-inf divergence of the FP32 RunUnplanned
+	// oracle, or the tenant falls back to FP32 (see DeployReport).
+	// Zero means ungated. Ignored for PrecisionDefault/PrecisionFP32.
+	AccuracyBudget float64
 }
 
 // Server is the multi-tenant serving endpoint: several models share
@@ -161,6 +236,11 @@ type Server struct {
 	// persistErr is the outcome of the latest persistCache attempt
 	// (guarded by saveMu); Close surfaces it.
 	persistErr error
+
+	// reports holds each deployed model's precision-gate outcome
+	// (models deployed at PrecisionDefault have no entry).
+	reportsMu sync.Mutex
+	reports   map[string]DeployReport
 }
 
 // NewServer starts an empty multi-tenant server over dev (or over
@@ -199,7 +279,7 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 			return nil, err
 		}
 	}
-	s := &Server{dev: dev, opts: opts, cache: cache}
+	s := &Server{dev: dev, opts: opts, cache: cache, reports: make(map[string]DeployReport)}
 	s.srv = serve.NewServer(serve.ServerOptions{
 		Workers:     opts.Workers,
 		Devices:     opts.Devices,
@@ -222,11 +302,42 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 // keys keep both families in one cache file. The source graph is
 // never mutated and its weights are shared across all variants.
 func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
+	src := g
+	if dt, ok := opts.Precision.dtype(); ok {
+		// Precision-rewrite the source once, gated: the requested
+		// variant must clear the tenant's accuracy budget against the
+		// FP32 RunUnplanned oracle on deterministic calibration batches
+		// or the tenant serves FP32. Numerics are schedule-independent
+		// (functional execution reuses the reference path), so gating on
+		// one device class decides for the whole pool.
+		gateDev := s.gateDevice()
+		deployed, rep, err := accuracy.GatePrecision(g, dt, opts.AccuracyBudget,
+			calibrationBatches, calibrationSeed,
+			func(cg *relay.Graph) (*rt.Module, error) {
+				res, err := compileTemplated(cg, gateDev, templatedConfig{
+					cache:          s.cache,
+					jobs:           s.opts.Jobs,
+					topK:           opts.TopK,
+					trustThreshold: opts.TrustThreshold,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res.Module, nil
+			})
+		if err != nil {
+			return fmt.Errorf("bolt: deploy %s at %s: %w", name, opts.Precision, err)
+		}
+		src = deployed
+		s.reportsMu.Lock()
+		s.reports[name] = rep
+		s.reportsMu.Unlock()
+	}
 	compile := func(dev *gpu.Device, batch int) (*rt.Module, error) {
 		if dev == nil {
 			dev = s.dev // anonymous homogeneous worker: the server device
 		}
-		vg, err := relay.Rebatch(g, batch)
+		vg, err := relay.Rebatch(src, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -254,6 +365,28 @@ func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
 		AllowPadding:       opts.AllowPadding,
 		ContinuousBatching: opts.ContinuousBatching,
 	})
+}
+
+// gateDevice picks the device class accuracy gating compiles against:
+// the first pool device on a heterogeneous server, otherwise the
+// server's own device.
+func (s *Server) gateDevice() *gpu.Device {
+	if len(s.opts.Devices) > 0 {
+		return s.opts.Devices[0]
+	}
+	return s.dev
+}
+
+// DeployReport returns the precision-gate outcome for a model deployed
+// with a non-default DeployOptions.Precision: the served precision,
+// the measured calibration divergence, and the fallback reason if the
+// accuracy budget rejected the requested variant. ok is false for
+// unknown models and for models served as authored.
+func (s *Server) DeployReport(name string) (DeployReport, bool) {
+	s.reportsMu.Lock()
+	defer s.reportsMu.Unlock()
+	rep, ok := s.reports[name]
+	return rep, ok
 }
 
 // Undeploy removes a model: new requests for it fail with
