@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"bolt/internal/bench"
@@ -29,8 +28,14 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println(strings.Join(bench.IDs(), "\n"))
-		fmt.Println(strings.Join(bench.AblationIDs(), "\n"))
+		fmt.Println("paper experiments:")
+		for _, id := range bench.IDs() {
+			fmt.Printf("  %-14s %s\n", id, bench.Describe(id))
+		}
+		fmt.Println("ablations and extensions (-ablations):")
+		for _, id := range bench.AblationIDs() {
+			fmt.Printf("  %-14s %s\n", id, bench.Describe(id))
+		}
 		return
 	}
 
@@ -49,13 +54,14 @@ func main() {
 	if *quick {
 		s = bench.NewQuickSuite(dev)
 	}
-	// The serving experiments double as the PR-3..PR-7 CI artifacts.
+	// The serving experiments double as the PR-3..PR-9 CI artifacts.
 	s.ServingArtifact = "BENCH_pr3.json"
 	s.MultiModelArtifact = "BENCH_pr4.json"
 	s.HeteroArtifact = "BENCH_pr5.json"
 	s.PaddingArtifact = "BENCH_pr6.json"
 	s.ColdstartArtifact = "BENCH_pr7.json"
 	s.PrecisionArtifact = "BENCH_pr8.json"
+	s.FleetArtifact = "BENCH_pr9.json"
 	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
 
 	regen := func(id string) func() *bench.Table {

@@ -1,0 +1,116 @@
+// Fleet serving: three bolt.Server replicas behind one EFT-backlog
+// router, sharing a single tuning log. A scripted fault kills one
+// worker's batch mid-stream — the router retries the affected
+// requests on the healthy replicas and no request is lost. A replica
+// grown at runtime warms every tenant variant measurement-free from
+// its peers' shared tuning-log entries.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"bolt"
+)
+
+func buildCNN() *bolt.Graph {
+	b := bolt.NewBuilder()
+	x := b.Input("image", bolt.FP16, 1, 8, 32, 32)
+	c := b.Conv2D(x, b.Weight("w1", 16, 3, 3, 8), 1, 1)
+	c = b.BiasAdd(c, b.Weight("b1", 16))
+	c = b.Activation(c, bolt.ReLU)
+	c = b.MaxPool(c, 2, 2, 0)
+	c = b.Conv2D(c, b.Weight("w2", 32, 3, 3, 16), 2, 1)
+	c = b.BiasAdd(c, b.Weight("b2", 32))
+	c = b.Activation(c, bolt.ReLU)
+	g := b.GlobalAvgPool(c)
+	d := b.Dense(g, b.Weight("fc", 32, 10))
+	return b.Build(b.Softmax(d))
+}
+
+func main() {
+	flt, err := bolt.NewFleet(bolt.T4(), bolt.FleetOptions{
+		Replicas: []bolt.FleetReplica{
+			{Workers: 2}, {Workers: 2}, {Workers: 2},
+		},
+		BatchWindow: 2 * time.Millisecond,
+		Jobs:        2,
+		// Hedge a request on a second replica when its first attempt
+		// has not come back within the timeout.
+		Hedge: bolt.HedgeOptions{Timeout: 50 * time.Millisecond},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer flt.Close()
+
+	// Deploy registers the tenant on every replica; the first replica
+	// profiles each bucket variant, the rest warm from the shared
+	// tuning log.
+	if err := flt.Deploy("cnn", buildCNN(), bolt.DeployOptions{
+		Buckets: []int{1, 2, 4, 8},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := flt.Warm("cnn"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Script a failure: the next batch dispatched on replica 0's
+	// worker 0 fails. The router retries its requests elsewhere.
+	flt.InjectFault(0, 0, 1, bolt.BatchFault{Err: bolt.ErrInjectedKill})
+
+	// A seeded Poisson stream on the simulated clock, routed to the
+	// replica with the lowest modeled EFT backlog at enqueue time.
+	const requests = 64
+	rng := rand.New(rand.NewSource(1))
+	arrival := 0.0
+	chans := make([]<-chan bolt.FleetResult, requests)
+	for i := range chans {
+		in := bolt.NewTensor(bolt.FP16, 1, 8, 32, 32)
+		in.FillRandom(int64(i+1), 1)
+		arrival += rng.ExpFloat64() * 3e-6
+		ch, err := flt.InferAsync("cnn", map[string]*bolt.Tensor{"image": in}, bolt.InferOptions{
+			Priority:   bolt.PriorityBulk,
+			MaxWait:    2 * time.Millisecond,
+			SimArrival: arrival,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	retried := 0
+	for i, ch := range chans {
+		res := <-ch
+		if res.Err != nil {
+			log.Fatalf("request %d: %v", i, res.Err)
+		}
+		if res.Retried {
+			retried++
+		}
+	}
+	fmt.Printf("served %d requests, %d rescued by retry after the injected kill\n", requests, retried)
+
+	// Grow a replica at runtime: it redeploys and warms every tenant
+	// purely from the shared tuning log — zero new profiler
+	// measurements — then joins the routing set.
+	id, err := flt.Grow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grew replica %d (warmed measurement-free from the shared tuning log)\n", id)
+
+	st := flt.Stats()
+	fmt.Printf("fleet: routed %d, delivered %d (errors %d), retries %d, hedges issued/won/canceled %d/%d/%d\n",
+		st.Routed, st.Delivered, st.DeliveredErrors, st.Retries,
+		st.HedgesIssued, st.HedgesWon, st.HedgesCanceled)
+	for _, r := range st.Replicas {
+		fmt.Printf("  replica %d: live=%v grown=%v rows=%d batches=%d failed=%d\n",
+			r.Replica, r.Live, r.Grown, r.Serve.Requests, r.Serve.Batches, r.Serve.FailedBatches)
+	}
+}

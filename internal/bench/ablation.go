@@ -20,7 +20,7 @@ import (
 
 // AblationIDs lists the extension experiments.
 func AblationIDs() []string {
-	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving", "multimodel", "hetero", "padding", "coldstart", "precision"}
+	return []string{"abl-swizzle", "abl-warps", "abl-smalltb", "abl-residence", "abl-stages", "ext-dyn", "ext-chain", "ext-int8", "ext-cache", "serving", "multimodel", "hetero", "padding", "coldstart", "precision", "fleet"}
 }
 
 // AblationByID returns the regenerator for an ablation id.
@@ -41,6 +41,7 @@ func (s *Suite) AblationByID(id string) func() *Table {
 		"padding":       s.Padding,
 		"coldstart":     s.Coldstart,
 		"precision":     s.Precision,
+		"fleet":         s.Fleet,
 	}
 	return m[id]
 }

@@ -2,7 +2,7 @@ package bench
 
 import "math/rand"
 
-// poissonArrivals returns the first n arrival times (simulated
+// PoissonArrivals returns the first n arrival times (simulated
 // seconds) of a Poisson process with the given mean interarrival time:
 // seeded exponential gaps, cumulatively summed. The serving benchmarks
 // stamp these onto requests (InferOptions.SimArrival) so a worker
@@ -10,13 +10,76 @@ import "math/rand"
 // latency is completion minus arrival — percentiles then reflect
 // steady-state queueing under offered load rather than a flood at
 // simulated t=0. Deterministic for a fixed seed.
-func poissonArrivals(n int, meanInterarrival float64, seed int64) []float64 {
+func PoissonArrivals(n int, meanInterarrival float64, seed int64) []float64 {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]float64, n)
 	t := 0.0
 	for i := range out {
 		t += rng.ExpFloat64() * meanInterarrival
 		out[i] = t
+	}
+	return out
+}
+
+// BurstyOptions shapes an MMPP-style on/off arrival process: a
+// two-state Markov-modulated Poisson stream that alternates between a
+// burst phase (fast arrivals) and an idle phase (slow arrivals),
+// with exponentially distributed phase dwell times. This is the
+// canonical bursty-traffic model for serving systems — the mean rate
+// can match a plain Poisson stream while the variance (and therefore
+// queueing tails, hedging pressure, and autoscaler excursions) is far
+// higher.
+type BurstyOptions struct {
+	// BurstInterarrival is the mean interarrival time during a burst;
+	// IdleInterarrival during the idle phase (idle should be the larger
+	// of the two).
+	BurstInterarrival float64
+	IdleInterarrival  float64
+	// BurstDwell and IdleDwell are the mean simulated seconds the
+	// process stays in each phase before switching.
+	BurstDwell float64
+	IdleDwell  float64
+	// StartIdle starts the process in the idle phase (default: burst).
+	StartIdle bool
+}
+
+// BurstyArrivals returns the first n arrival times of the seeded
+// on/off process described by opts. Within a phase, arrivals are
+// Poisson at that phase's rate; phase switches occur at exponential
+// dwell boundaries (a gap spanning a switch is re-drawn from the new
+// phase's rate at the boundary, which keeps the process memoryless).
+// Deterministic for a fixed seed.
+func BurstyArrivals(n int, opts BurstyOptions, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	idle := opts.StartIdle
+	t := 0.0
+	// phaseEnd is the simulated time of the next phase switch.
+	dwell := func() float64 {
+		if idle {
+			return rng.ExpFloat64() * opts.IdleDwell
+		}
+		return rng.ExpFloat64() * opts.BurstDwell
+	}
+	phaseEnd := t + dwell()
+	for i := 0; i < n; {
+		mean := opts.BurstInterarrival
+		if idle {
+			mean = opts.IdleInterarrival
+		}
+		next := t + rng.ExpFloat64()*mean
+		if next > phaseEnd {
+			// The gap crosses a phase boundary: advance to the switch and
+			// re-draw in the new phase (exponential gaps are memoryless, so
+			// restarting the draw at the boundary is exact).
+			t = phaseEnd
+			idle = !idle
+			phaseEnd = t + dwell()
+			continue
+		}
+		t = next
+		out[i] = t
+		i++
 	}
 	return out
 }

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// stats returns mean and squared coefficient of variation of the
+// interarrival gaps of an arrival-time sequence.
+func gapStats(arrivals []float64) (mean, cv2 float64) {
+	prev := 0.0
+	gaps := make([]float64, len(arrivals))
+	for i, a := range arrivals {
+		gaps[i] = a - prev
+		prev = a
+	}
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	varsum := 0.0
+	for _, g := range gaps {
+		d := g - mean
+		varsum += d * d
+	}
+	return mean, varsum / float64(len(gaps)) / (mean * mean)
+}
+
+func TestPoissonArrivalsDeterministicAndExponential(t *testing.T) {
+	a := PoissonArrivals(5000, 0.5, 42)
+	b := PoissonArrivals(5000, 0.5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+	if c := PoissonArrivals(100, 0.5, 43); c[0] == a[0] {
+		t.Error("different seeds produced the same first arrival")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+	}
+	mean, cv2 := gapStats(a)
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("mean interarrival %g, want ~0.5", mean)
+	}
+	// Exponential gaps have CV^2 = 1.
+	if cv2 < 0.8 || cv2 > 1.2 {
+		t.Errorf("Poisson gap CV^2 = %g, want ~1", cv2)
+	}
+}
+
+func TestBurstyArrivalsAreBurstier(t *testing.T) {
+	opts := BurstyOptions{
+		BurstInterarrival: 0.05,
+		IdleInterarrival:  2.0,
+		BurstDwell:        5.0,
+		IdleDwell:         5.0,
+	}
+	a := BurstyArrivals(5000, opts, 42)
+	b := BurstyArrivals(5000, opts, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("arrivals not strictly increasing at %d", i)
+		}
+	}
+	// The on/off mixture must be overdispersed relative to any Poisson
+	// stream: squared coefficient of variation of the gaps well above 1.
+	_, cv2 := gapStats(a)
+	if cv2 < 1.5 {
+		t.Errorf("bursty gap CV^2 = %g, want > 1.5 (Poisson is ~1)", cv2)
+	}
+	// Both phases must actually occur: some gaps at burst scale, some
+	// at idle scale.
+	short, long := 0, 0
+	prev := 0.0
+	for _, x := range a {
+		g := x - prev
+		prev = x
+		if g < 0.2 {
+			short++
+		}
+		if g > 0.5 {
+			long++
+		}
+	}
+	if short == 0 || long == 0 {
+		t.Errorf("phases missing: %d burst-scale gaps, %d idle-scale gaps", short, long)
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+// Describe returns a one-line description of an experiment id (paper
+// experiments from IDs, ablations/extensions from AblationIDs), or ""
+// for an unknown id. boltbench -list prints these next to the ids.
+func Describe(id string) string {
+	return descriptions[id]
+}
+
+var descriptions = map[string]string{
+	"fig1":   "Ansor vs cuBLAS: FP16 GEMM sweep motivating templated search",
+	"fig8a":  "GEMM performance, Bolt profiler vs Ansor tuning",
+	"fig8b":  "Conv2D performance, Bolt profiler vs Ansor tuning",
+	"fig9a":  "GEMM epilogue fusion (bias/ReLU/GELU folded into the kernel)",
+	"fig9b":  "Conv2D epilogue fusion (bias/activation folded into the kernel)",
+	"tab1":   "back-to-back GEMM fusion with persistent kernels",
+	"tab2":   "back-to-back Conv2D fusion with persistent kernels",
+	"tab3":   "automated padding for alignment-hostile shapes",
+	"fig10a": "end-to-end inference speed across the model zoo",
+	"fig10b": "auto-tuning wall-clock time, Bolt vs Ansor budgets",
+	"tab4":   "RepVGG activation-function codesign accuracy/speed",
+	"tab5":   "RepVGG 1x1-deepening codesign accuracy/speed",
+	"tab6":   "combined RepVGG codesign (deepening + Hardswish)",
+
+	"abl-swizzle":   "ablation: threadblock swizzling vs DRAM traffic",
+	"abl-warps":     "ablation: warps per threadblock (guideline 2)",
+	"abl-smalltb":   "ablation: small-problem threadblock sizing (guideline 3)",
+	"abl-residence": "ablation: RF vs smem residence for fused GEMM pairs",
+	"abl-stages":    "ablation: cp.async pipeline depth on sm_80",
+	"ext-dyn":       "extension: dynamic sequence lengths vs a static tuning-log cache",
+	"ext-chain":     "extension: fusing MLP chains deeper than pairs",
+	"ext-int8":      "extension: INT8 (IMMA) vs FP16 templated GEMM",
+	"ext-cache":     "extension: concurrent cache-backed model compilation",
+	"serving":       "serving engine: dynamic batching under a request flood",
+	"multimodel":    "multi-tenant server: two models, mixed priorities, shared workers",
+	"hetero":        "heterogeneous device pool: EFT routing across T4/A100 mixes",
+	"padding":       "padded-bucket dispatch and continuous batch formation",
+	"coldstart":     "cost-model-guided cold compile: ranked candidates, top-k measured",
+	"precision":     "mixed-precision tenants: FP16/INT8 variants behind accuracy gates",
+	"fleet":         "replicated fleet: EFT routing, warm scale-up, autoscaling, hedged failures",
+}

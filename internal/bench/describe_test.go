@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+// TestDescribeCoversAllIDs keeps boltbench -list honest: every
+// runnable experiment id must have a one-line description.
+func TestDescribeCoversAllIDs(t *testing.T) {
+	for _, id := range append(IDs(), AblationIDs()...) {
+		if Describe(id) == "" {
+			t.Errorf("experiment %q has no description", id)
+		}
+	}
+	if Describe("no-such-experiment") != "" {
+		t.Error("unknown id should describe as empty")
+	}
+	if len(descriptions) != len(IDs())+len(AblationIDs()) {
+		t.Errorf("descriptions has %d entries, want %d (stale id?)",
+			len(descriptions), len(IDs())+len(AblationIDs()))
+	}
+}

@@ -188,7 +188,7 @@ func (s *Suite) runHetero() heteroArtifact {
 	// bucket-8 service rate, so every pool is service-bound (the
 	// makespan measures capacity, not the arrival span) while arrivals
 	// still stagger batch starts.
-	arrivals := poissonArrivals(requests, 0.25*cost8T4/8, 17)
+	arrivals := PoissonArrivals(requests, 0.25*cost8T4/8, 17)
 	inputs := make([]map[string]*tensor.Tensor, requests)
 	for i := range inputs {
 		in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, 1, 16, 32, 32)

@@ -128,7 +128,7 @@ func (s *Suite) runMultiModel() multiModelArtifact {
 	if err != nil {
 		panic(err)
 	}
-	arrivals := poissonArrivals(len(tenants)*requests, 0.25*mod8.Time()/8, 11)
+	arrivals := PoissonArrivals(len(tenants)*requests, 0.25*mod8.Time()/8, 11)
 	var chans []<-chan serve.Result
 	for i := 0; i < requests; i++ {
 		pri := serve.PriorityBulk

@@ -159,7 +159,7 @@ func (s *Suite) runPadding() paddingArtifact {
 	// saturation the comparison inverts: a backlogged queue hands strict
 	// full buckets for free and padding only spends compute the pool no
 	// longer has spare.) Arrivals use the PR-5 seeded Poisson generator.
-	arrivals := poissonArrivals(requests, 1.25*cost8T4/8, 17)
+	arrivals := PoissonArrivals(requests, 1.25*cost8T4/8, 17)
 	inputs := make([]map[string]*tensor.Tensor, requests)
 	for i := range inputs {
 		in := tensor.NewWithLayout(tensor.FP16, tensor.LayoutNCHW, 1, 16, 32, 32)

@@ -132,7 +132,7 @@ func (s *Suite) runPrecision() precisionArtifact {
 			fastest = c
 		}
 	}
-	arrivals := poissonArrivals(requests, 0.25*fastest/8, 23)
+	arrivals := PoissonArrivals(requests, 0.25*fastest/8, 23)
 	inputs := make([]map[string]*tensor.Tensor, requests)
 	for i := range inputs {
 		in := tensor.New(tensor.FP16, 1, 768)

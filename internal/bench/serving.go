@@ -173,7 +173,7 @@ func (s *Suite) runServing() servingArtifact {
 	if err != nil {
 		panic(err)
 	}
-	arrivals := poissonArrivals(requests, 0.3*mod8.Time()/8, 7)
+	arrivals := PoissonArrivals(requests, 0.3*mod8.Time()/8, 7)
 
 	configs := []struct {
 		workers int

@@ -56,6 +56,12 @@ type Suite struct {
 	// PrecisionArtifact, when set, is where the precision experiment
 	// writes its JSON artifact (boltbench points it at BENCH_pr8.json).
 	PrecisionArtifact string
+	// FleetRequests is the Poisson-stream size for the replicated-fleet
+	// experiment (rounded down to full bucket-8 batches).
+	FleetRequests int
+	// FleetArtifact, when set, is where the fleet experiment writes its
+	// JSON artifact (boltbench points it at BENCH_pr9.json).
+	FleetArtifact string
 
 	seed     int64
 	e2eCache []e2eResult
@@ -67,7 +73,8 @@ func NewSuite(dev *gpu.Device) *Suite {
 		Dev: dev, Lib: cublaslike.New(dev),
 		MicroTrials: 2000, E2ETrialsPerTask: 900, Batch: 32,
 		ServingRequests: 96, MultiModelRequests: 64, HeteroRequests: 128,
-		PaddingRequests: 128, PrecisionRequests: 64, seed: 1,
+		PaddingRequests: 128, PrecisionRequests: 64, FleetRequests: 96,
+		seed: 1,
 	}
 }
 
@@ -83,6 +90,7 @@ func NewQuickSuite(dev *gpu.Device) *Suite {
 	s.HeteroRequests = 48
 	s.PaddingRequests = 48
 	s.PrecisionRequests = 32
+	s.FleetRequests = 48
 	return s
 }
 

@@ -1,0 +1,357 @@
+// Package fleet is Bolt's replicated-serving layer: N serve.Server
+// replicas (each its own device pool and simulated clocks) behind one
+// router. It is the in-server device pool one level up — the
+// millions-of-users story — and keeps the repo's accounting
+// convention: execution is functional on the host, time is priced on
+// each replica's simulated devices, so fleet-level experiments stay
+// deterministic.
+//
+// The router places every request on the live replica with the lowest
+// modeled EFT backlog (serve.Server.BacklogSeconds — the same
+// finish-time model in-server dispatch uses, so the two levels of
+// load balancing speak one currency). Robustness is first-class:
+//
+//   - a seedable failure injector can kill or stall any replica's
+//     worker mid-stream (through serve.ServerOptions.Fault);
+//   - a request whose deadline is at risk is hedged on a second
+//     replica — first healthy result wins, the loser is drained and
+//     counted as canceled (the serving-side analogue of concurrent
+//     error detection: redundant execution masks a faulty stream);
+//   - a failed batch is retried once on a different replica, so an
+//     injected fault costs latency, not answers;
+//   - an autoscaler grows the fleet on sustained backlog and shrinks
+//     it when idle, and a replica added at runtime warms its tenants'
+//     variants measurement-free when the deploy closure shares a
+//     tuning log with its peers (the bolt wrapper wires exactly that).
+//
+// Stats keeps per-replica rows (hedges, retries, autoscale events,
+// and each replica's full serve.Stats) that sum exactly to the fleet
+// aggregate, so fleet accounting is auditable the same way per-device
+// accounting is inside one server.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bolt/internal/gpu"
+	"bolt/internal/serve"
+	"bolt/internal/tensor"
+)
+
+// ErrClosed is returned by fleet calls after Close.
+var ErrClosed = errors.New("fleet: closed")
+
+// ErrNoReplica is returned when a request cannot be placed because no
+// live replica exists (all shrunk or closed).
+var ErrNoReplica = errors.New("fleet: no live replica")
+
+// ReplicaConfig sizes one replica's worker pool: either Workers
+// homogeneous streams or one worker per Devices entry (Devices wins
+// when both are set, mirroring serve.ServerOptions).
+type ReplicaConfig struct {
+	Workers int
+	Devices []*gpu.Device
+}
+
+// HedgeOptions configures request hedging.
+type HedgeOptions struct {
+	// Timeout is how long the router waits on the first attempt before
+	// issuing a duplicate on a second replica (first healthy result
+	// wins, the loser is drained). Zero disables hedging.
+	Timeout time.Duration
+	// BacklogSeconds, when > 0, hedges immediately at placement time if
+	// the chosen replica's modeled backlog already exceeds it — the
+	// deadline is at risk before the request even queues.
+	BacklogSeconds float64
+}
+
+// Options configures a Fleet.
+type Options struct {
+	// Replicas are the initial replica pools. Nil means one single
+	// homogeneous worker.
+	Replicas []ReplicaConfig
+	// QueueDepth, BatchWindow and CompileJobs are passed to every
+	// replica's serve.ServerOptions.
+	QueueDepth  int
+	BatchWindow time.Duration
+	CompileJobs int
+	// Hedge configures duplicate requests on at-risk deadlines.
+	Hedge HedgeOptions
+	// Autoscale configures backlog-driven growth/shrink.
+	Autoscale AutoscaleOptions
+	// Failures seeds the random failure injector (scripted injection
+	// via InjectFault works regardless). Nil means no random faults.
+	Failures *FailurePlan
+	// OnClose runs exactly once at the end of Close, after every
+	// replica drained (the bolt wrapper persists the shared tuning log
+	// here).
+	OnClose func()
+}
+
+// tenantSpec is one deployed model's recipe, kept so replicas added
+// at runtime can redeploy it through the same Deploy lifecycle.
+type tenantSpec struct {
+	name    string
+	compile serve.CompileVariantOn
+	opts    serve.DeployOptions
+}
+
+// replica is one serve.Server plus its router-level accounting. The
+// counter fields are guarded by the owning Fleet's mu.
+type replica struct {
+	id   int
+	srv  *serve.Server
+	cfg  ReplicaConfig
+	live bool
+
+	grown bool // spawned by the autoscaler (or Grow), not at New
+
+	consecFails int64 // consecutive failed attempts (health signal)
+
+	hedgesIssued   int64 // hedges placed because this replica was slow
+	hedgesWon      int64 // hedged duplicates this replica won
+	hedgesCanceled int64 // this replica's attempts drained as losers
+	retries        int64 // retries triggered by this replica's failures
+	growEvents     int64 // 1 when this replica was added by a grow
+	shrinkEvents   int64 // 1 when this replica was retired by a shrink
+}
+
+// Fleet routes requests across replicated servers. Safe for
+// concurrent use.
+type Fleet struct {
+	opts Options
+	inj  *injector
+
+	mu       sync.Mutex
+	replicas []*replica // every replica ever, by id (retired keep their stats)
+	tenants  map[string]*tenantSpec
+	closed   bool
+
+	routed        int64 // requests accepted by the fleet
+	delivered     int64 // results delivered to callers
+	deliveredErrs int64 // of those, delivered with an error
+
+	consecHigh int // sustained-backlog poll streaks (autoscaler)
+	consecLow  int
+
+	// deployMu serializes tenant-set changes against replica-set
+	// changes (Deploy/Undeploy vs Grow/Shrink), so a replica added
+	// mid-run deploys exactly the live tenant set.
+	deployMu sync.Mutex
+
+	routeWG   sync.WaitGroup
+	stopScale chan struct{}
+	scaleWG   sync.WaitGroup
+	closeHook sync.Once
+}
+
+// New starts a fleet with the configured initial replicas.
+func New(opts Options) *Fleet {
+	if len(opts.Replicas) == 0 {
+		opts.Replicas = []ReplicaConfig{{Workers: 1}}
+	}
+	f := &Fleet{
+		opts:    opts,
+		inj:     newInjector(opts.Failures),
+		tenants: make(map[string]*tenantSpec),
+	}
+	for _, cfg := range opts.Replicas {
+		f.addReplicaLocked(cfg, false)
+	}
+	if opts.Autoscale.Interval > 0 {
+		f.stopScale = make(chan struct{})
+		f.scaleWG.Add(1)
+		go f.autoscaleLoop(f.stopScale)
+	}
+	return f
+}
+
+// addReplicaLocked constructs and registers one replica (caller holds
+// f.mu or is New).
+func (f *Fleet) addReplicaLocked(cfg ReplicaConfig, grown bool) *replica {
+	r := &replica{id: len(f.replicas), cfg: cfg, live: true, grown: grown}
+	if grown {
+		r.growEvents = 1
+	}
+	r.srv = serve.NewServer(serve.ServerOptions{
+		Workers:     cfg.Workers,
+		Devices:     cfg.Devices,
+		QueueDepth:  f.opts.QueueDepth,
+		BatchWindow: f.opts.BatchWindow,
+		CompileJobs: f.opts.CompileJobs,
+		Fault:       f.inj.hook(r.id),
+	})
+	f.replicas = append(f.replicas, r)
+	return r
+}
+
+// liveLocked returns the live replicas (caller holds f.mu).
+func (f *Fleet) liveLocked() []*replica {
+	live := make([]*replica, 0, len(f.replicas))
+	for _, r := range f.replicas {
+		if r.live {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// Replicas returns the number of live replicas.
+func (f *Fleet) Replicas() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.liveLocked())
+}
+
+// Deploy registers a model on every live replica (and on every
+// replica added later). The compile closure is shared by all replicas
+// — giving it a shared tuning-log cache is what makes later replicas
+// warm up measurement-free.
+func (f *Fleet) Deploy(name string, compile serve.CompileVariantOn, opts serve.DeployOptions) error {
+	f.deployMu.Lock()
+	defer f.deployMu.Unlock()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	if _, dup := f.tenants[name]; dup {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: model %q already deployed", name)
+	}
+	spec := &tenantSpec{name: name, compile: compile, opts: opts}
+	f.tenants[name] = spec
+	live := f.liveLocked()
+	f.mu.Unlock()
+	for i, r := range live {
+		if err := r.srv.DeployOn(name, compile, opts); err != nil {
+			for _, u := range live[:i] {
+				_ = u.srv.Undeploy(name)
+			}
+			f.mu.Lock()
+			delete(f.tenants, name)
+			f.mu.Unlock()
+			return fmt.Errorf("fleet: replica %d: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+// Undeploy removes a model from every live replica. Requests still
+// queued for it are answered with ErrNotDeployed by each replica;
+// hedged duplicates in flight drain cleanly.
+func (f *Fleet) Undeploy(name string) error {
+	f.deployMu.Lock()
+	defer f.deployMu.Unlock()
+	f.mu.Lock()
+	if _, ok := f.tenants[name]; !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: model %q: %w", name, serve.ErrNotDeployed)
+	}
+	delete(f.tenants, name)
+	live := f.liveLocked()
+	f.mu.Unlock()
+	var errs []error
+	for _, r := range live {
+		if err := r.srv.Undeploy(name); err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", r.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Warm compiles a model's variants on every live replica (all its
+// buckets when none are named).
+func (f *Fleet) Warm(model string, buckets ...int) error {
+	f.mu.Lock()
+	live := f.liveLocked()
+	f.mu.Unlock()
+	var errs []error
+	for _, r := range live {
+		if err := r.srv.Warm(model, buckets...); err != nil {
+			errs = append(errs, fmt.Errorf("replica %d: %w", r.id, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Infer routes one request and blocks for its result.
+func (f *Fleet) Infer(model string, inputs map[string]*tensor.Tensor, opts serve.InferOptions) (*tensor.Tensor, error) {
+	ch, err := f.InferAsync(model, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := <-ch
+	return res.Output, res.Err
+}
+
+// InferAsync places one request on the live replica with the lowest
+// modeled EFT backlog and returns the channel its Result arrives on.
+// The enqueue happens synchronously in the caller's goroutine (so a
+// single producer observes the same arrival order a bare server
+// would, and replica backpressure blocks the caller exactly like
+// serve.Server.InferAsync); only hedge/retry supervision runs in the
+// background.
+func (f *Fleet) InferAsync(model string, inputs map[string]*tensor.Tensor, opts serve.InferOptions) (<-chan Result, error) {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := f.tenants[model]; !ok {
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: model %q: %w", model, serve.ErrNotDeployed)
+	}
+	r, backlog := f.pickLocked(nil)
+	if r == nil {
+		f.mu.Unlock()
+		return nil, ErrNoReplica
+	}
+	f.routed++
+	canHedge := len(f.liveLocked()) > 1
+	f.mu.Unlock()
+	ch, err := r.srv.InferAsync(model, inputs, opts)
+	if err != nil {
+		f.mu.Lock()
+		f.routed--
+		f.mu.Unlock()
+		return nil, fmt.Errorf("fleet: replica %d: %w", r.id, err)
+	}
+	hedgeNow := canHedge && f.opts.Hedge.BacklogSeconds > 0 &&
+		backlog > f.opts.Hedge.BacklogSeconds
+	out := make(chan Result, 1)
+	f.routeWG.Add(1)
+	go f.watch(model, inputs, opts, attempt{rep: r, ch: ch}, hedgeNow, out)
+	return out, nil
+}
+
+// Close stops accepting requests, drains every replica (all accepted
+// requests are answered), waits for in-flight routing supervision,
+// and runs OnClose once. Safe to call more than once.
+func (f *Fleet) Close() {
+	f.mu.Lock()
+	wasClosed := f.closed
+	f.closed = true
+	live := f.liveLocked()
+	stop := f.stopScale
+	f.stopScale = nil
+	f.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	f.scaleWG.Wait()
+	if !wasClosed {
+		for _, r := range live {
+			r.srv.Close()
+		}
+	}
+	f.routeWG.Wait()
+	f.closeHook.Do(func() {
+		if f.opts.OnClose != nil {
+			f.opts.OnClose()
+		}
+	})
+}

@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"time"
+
+	"bolt/internal/serve"
+	"bolt/internal/tensor"
+)
+
+// unhealthyAfter is how many consecutive failed attempts mark a
+// replica unhealthy: the router stops picking it (unless it is the
+// only choice) until a success resets the streak.
+const unhealthyAfter = 3
+
+// Result is one completed fleet request: the replica's serve.Result
+// plus the routing story.
+type Result struct {
+	serve.Result
+	// Replica is the replica that produced the delivered result.
+	Replica int
+	// Hedged reports that a duplicate attempt was issued for this
+	// request (whether or not the hedge won).
+	Hedged bool
+	// Retried reports that the delivered result came from a retry after
+	// the first attempt failed.
+	Retried bool
+}
+
+// attempt is one placement of a request on one replica.
+type attempt struct {
+	rep *replica
+	ch  <-chan serve.Result
+}
+
+// pickLocked chooses the live replica with the lowest modeled EFT
+// backlog, skipping unhealthy replicas (and exclude) unless nothing
+// else is live. Returns the choice and its backlog (caller holds
+// f.mu).
+func (f *Fleet) pickLocked(exclude *replica) (*replica, float64) {
+	var best *replica
+	bestBacklog := 0.0
+	bestHealthy := false
+	for _, r := range f.replicas {
+		if !r.live || r == exclude {
+			continue
+		}
+		backlog := r.srv.BacklogSeconds()
+		healthy := r.consecFails < unhealthyAfter
+		// A healthy replica always beats an unhealthy one; within a
+		// health class, lowest backlog wins (ties keep the lowest id, so
+		// routing is deterministic).
+		switch {
+		case best == nil,
+			healthy && !bestHealthy,
+			healthy == bestHealthy && backlog < bestBacklog:
+			best, bestBacklog, bestHealthy = r, backlog, healthy
+		}
+	}
+	return best, bestBacklog
+}
+
+// issueAttempt places a duplicate (hedge) or follow-up (retry) of a
+// request on the best live replica other than exclude. A rescued bulk
+// request is escalated to PriorityNormal: its deadline is already at
+// risk, so it must not languish in the target replica's bulk queue —
+// but PriorityHigh would dispatch it alone in a padded bucket, and a
+// failed batch's rescues arrive together, so keeping them batchable
+// lets them coalesce back into one full bucket. Returns nil when no
+// other replica is live or the placement is rejected (closed,
+// undeployed).
+func (f *Fleet) issueAttempt(model string, inputs map[string]*tensor.Tensor, opts serve.InferOptions, exclude *replica) *attempt {
+	if opts.Priority == serve.PriorityBulk {
+		opts.Priority = serve.PriorityNormal
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	r, _ := f.pickLocked(exclude)
+	f.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	ch, err := r.srv.InferAsync(model, inputs, opts)
+	if err != nil {
+		return nil
+	}
+	return &attempt{rep: r, ch: ch}
+}
+
+// noteResult updates a replica's health streak from one attempt
+// outcome.
+func (f *Fleet) noteResult(r *replica, failed bool) {
+	f.mu.Lock()
+	if failed {
+		r.consecFails++
+	} else {
+		r.consecFails = 0
+	}
+	f.mu.Unlock()
+}
+
+// deliver hands the winning result to the caller (the watch goroutine
+// is the channel's only sender, so a hedged loser can never
+// double-send).
+func (f *Fleet) deliver(out chan<- Result, res serve.Result, rep *replica, hedged, retried bool) {
+	f.mu.Lock()
+	f.delivered++
+	if res.Err != nil {
+		f.deliveredErrs++
+	}
+	f.mu.Unlock()
+	out <- Result{Result: res, Replica: rep.id, Hedged: hedged, Retried: retried}
+}
+
+// drainLoser consumes a hedged duplicate that lost the race, so its
+// replica's result channel never blocks a worker, and counts the
+// cancellation.
+func (f *Fleet) drainLoser(a *attempt) {
+	f.routeWG.Add(1)
+	go func() {
+		defer f.routeWG.Done()
+		<-a.ch
+		f.mu.Lock()
+		a.rep.hedgesCanceled++
+		f.mu.Unlock()
+	}()
+}
+
+// watch supervises one routed request: it waits on the primary
+// attempt, hedges on a second replica when the deadline is at risk
+// (immediately when hedgeNow, else after Hedge.Timeout), retries a
+// failed attempt once on a different replica, and delivers exactly
+// one Result. At most two attempts are ever in flight.
+func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve.InferOptions, prim attempt, hedgeNow bool, out chan<- Result) {
+	defer f.routeWG.Done()
+	a := prim
+	var b *attempt
+	var aRes, bRes *serve.Result
+	hedged := false
+	isRetry := false // b is a retry (a already failed) rather than a hedge
+	var timer <-chan time.Time
+	if hedgeNow {
+		if b = f.issueAttempt(model, inputs, opts, a.rep); b != nil {
+			hedged = true
+			f.mu.Lock()
+			a.rep.hedgesIssued++
+			f.mu.Unlock()
+		}
+	} else if f.opts.Hedge.Timeout > 0 {
+		timer = time.After(f.opts.Hedge.Timeout)
+	}
+	for {
+		aCh := a.ch
+		if aRes != nil {
+			aCh = nil
+		}
+		var bCh <-chan serve.Result
+		if b != nil && bRes == nil {
+			bCh = b.ch
+		}
+		if aCh == nil && bCh == nil {
+			break
+		}
+		select {
+		case res := <-aCh:
+			aRes = &res
+			f.noteResult(a.rep, res.Err != nil)
+			if res.Err == nil {
+				f.deliver(out, res, a.rep, hedged, false)
+				if b != nil && bRes == nil {
+					f.drainLoser(b)
+				}
+				return
+			}
+			if b == nil {
+				// First failure and nothing else in flight: retry once on a
+				// different replica.
+				timer = nil
+				if b = f.issueAttempt(model, inputs, opts, a.rep); b != nil {
+					isRetry = true
+					f.mu.Lock()
+					a.rep.retries++
+					f.mu.Unlock()
+				} else {
+					f.deliver(out, res, a.rep, hedged, false)
+					return
+				}
+			}
+			// A hedge is already in flight: it doubles as the retry.
+		case res := <-bCh:
+			bRes = &res
+			f.noteResult(b.rep, res.Err != nil)
+			if res.Err == nil {
+				if !isRetry {
+					f.mu.Lock()
+					b.rep.hedgesWon++
+					f.mu.Unlock()
+				}
+				f.deliver(out, res, b.rep, hedged, isRetry || aRes != nil)
+				if aRes == nil {
+					f.drainLoser(&a)
+				}
+				return
+			}
+			if aRes != nil {
+				// Both attempts failed: deliver the follow-up's error.
+				f.deliver(out, res, b.rep, hedged, isRetry)
+				return
+			}
+			// The hedge failed first; keep waiting on the primary.
+		case <-timer:
+			timer = nil
+			if b = f.issueAttempt(model, inputs, opts, a.rep); b != nil {
+				hedged = true
+				f.mu.Lock()
+				a.rep.hedgesIssued++
+				f.mu.Unlock()
+			}
+		}
+	}
+	// Fell out of the loop: the primary failed after its hedge had
+	// already failed. Deliver the primary's error.
+	f.deliver(out, *aRes, a.rep, hedged, false)
+}

@@ -52,6 +52,11 @@ type ServerOptions struct {
 	// CompileJobs bounds how many variant compiles (lazy or Warm) run
 	// concurrently. Values < 1 mean 1.
 	CompileJobs int
+	// Fault, when set, is consulted before every dispatched batch
+	// executes and may fail the batch or stall the worker (see
+	// BatchFault). The fleet layer's failure injector plugs in here; a
+	// nil hook costs nothing.
+	Fault FaultHook
 	// OnClose, when set, runs exactly once at the end of Close, after
 	// every request is answered and the workers have stopped (the bolt
 	// wrapper persists the shared tuning log here, so closing through
@@ -199,6 +204,7 @@ type tenantStats struct {
 	requests      int64
 	batches       int64
 	evictions     int64
+	failedBatches int64 // batches answered with an error (incl. injected faults)
 	paddedBatches int64 // batches run on a bucket larger than their row count
 	paddedRows    int64 // zero-padding rows across those batches
 	batchSizes    map[int]int64
@@ -213,6 +219,7 @@ func (ts *tenantStats) merge(o *tenantStats) {
 	ts.requests += o.requests
 	ts.batches += o.batches
 	ts.evictions += o.evictions
+	ts.failedBatches += o.failedBatches
 	ts.paddedBatches += o.paddedBatches
 	ts.paddedRows += o.paddedRows
 	for k, v := range o.batchSizes {
@@ -245,9 +252,14 @@ type tenant struct {
 	// must never reach the planner, whatever its flags say.
 	planRuns int64
 
-	wrr      int // smooth weighted-round-robin current weight
-	queues   [numPriorities][]*request
-	pending  int
+	wrr     int // smooth weighted-round-robin current weight
+	queues  [numPriorities][]*request
+	pending int
+	// accepted counts requests accepted by InferAsync and not yet taken
+	// into a batch — a superset of pending that also covers requests
+	// still in flight to the scheduler's queues, so the backlog probe
+	// sees a request the moment InferAsync returns.
+	accepted int
 	removed  bool
 	variants map[vkey]*variant
 	// costs memoizes each (class, bucket)'s modeled batch cost past the
@@ -311,6 +323,11 @@ type Server struct {
 	workerBusy    []float64 // per-worker simulated seconds spent executing
 	workerBatches []int64   // per-worker dispatched batches
 	workerPadded  []int64   // per-worker padded batches (bucket > rows)
+	workerFailed  []int64   // per-worker failed batches
+	// schedModel mirrors the pool's scheduler-owned finish times under
+	// s.mu, so the backlog probe can read the EFT model from any
+	// goroutine without racing the scheduler.
+	schedModel []float64
 }
 
 // NewServer starts a multi-tenant server: one scheduler plus
@@ -332,6 +349,8 @@ func NewServer(opts ServerOptions) *Server {
 		workerBusy:    make([]float64, opts.Workers),
 		workerBatches: make([]int64, opts.Workers),
 		workerPadded:  make([]int64, opts.Workers),
+		workerFailed:  make([]int64, opts.Workers),
+		schedModel:    make([]float64, opts.Workers),
 	}
 	for i := range s.workerCh {
 		s.workerCh[i] = make(chan batchJob, 4)
@@ -488,6 +507,7 @@ func (s *Server) InferAsync(model string, inputs map[string]*tensor.Tensor, opts
 	}
 	s.inflight.Add(1)
 	t.stats.requests++
+	t.accepted++
 	wait := opts.MaxWait
 	if opts.Priority == PriorityHigh {
 		wait = 0 // high ignores MaxWait: it dispatches immediately
@@ -598,6 +618,7 @@ func (s *Server) Stats() Stats {
 		Requests:          s.retired.requests,
 		Batches:           s.retired.batches,
 		Evictions:         s.retired.evictions,
+		FailedBatches:     s.retired.failedBatches,
 		PaddedBatches:     s.retired.paddedBatches,
 		PaddedRows:        s.retired.paddedRows,
 		BatchSizes:        make(map[int]int64),
@@ -617,6 +638,7 @@ func (s *Server) Stats() Stats {
 		agg.Requests += t.stats.requests
 		agg.Batches += t.stats.batches
 		agg.Evictions += t.stats.evictions
+		agg.FailedBatches += t.stats.failedBatches
 		agg.PaddedBatches += t.stats.paddedBatches
 		agg.PaddedRows += t.stats.paddedRows
 		for k, v := range t.stats.batchSizes {
@@ -644,6 +666,7 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	agg.Devices = s.deviceStatsLocked()
+	agg.BacklogSeconds = s.backlogLocked()
 	return agg
 }
 
@@ -662,6 +685,7 @@ func (s *Server) deviceStatsLocked() []DeviceStats {
 			Worker:        w,
 			Device:        s.pool.specs[w].DeviceName(),
 			Batches:       s.workerBatches[w],
+			FailedBatches: s.workerFailed[w],
 			PaddedBatches: s.workerPadded[w],
 			BusySeconds:   s.workerBusy[w],
 			SimMakespan:   s.clocks[w],
@@ -705,6 +729,7 @@ func (t *tenant) snapshotLocked() Stats {
 		Requests:          t.stats.requests,
 		Batches:           t.stats.batches,
 		Evictions:         t.stats.evictions,
+		FailedBatches:     t.stats.failedBatches,
 		PaddedBatches:     t.stats.paddedBatches,
 		PaddedRows:        t.stats.paddedRows,
 		BatchSizes:        make(map[int]int64, len(t.stats.batchSizes)),
@@ -870,6 +895,13 @@ func (s *Server) dispatch(job *batchJob) {
 		job.cost, job.priced = costs[pl.class], true
 	}
 	s.pool.commit(pl)
+	if job.priced {
+		// Mirror the committed finish time under s.mu for the backlog
+		// probe (the pool's own sched stays scheduler-private).
+		s.mu.Lock()
+		s.schedModel[pl.worker] = pl.finish
+		s.mu.Unlock()
+	}
 	s.workerCh[pl.worker] <- *job
 }
 
@@ -1132,6 +1164,7 @@ func (s *Server) nextJob(now time.Time) *batchJob {
 	}
 	reqs := takeBatch(t, plan.take, now)
 	t.pending -= len(reqs)
+	t.accepted -= len(reqs)
 	s.pendingTotal -= len(reqs)
 	return &batchJob{t: t, reqs: reqs, bucket: plan.bucket}
 }
@@ -1510,11 +1543,20 @@ func (s *Server) runBatch(id int, job batchJob) {
 	if b < n {
 		b = n
 	}
-	v := s.variantFor(job.t, job.class, b)
+	var fault BatchFault
+	if s.opts.Fault != nil {
+		fault = s.opts.Fault(id)
+		if fault.StallHostDelay > 0 {
+			time.Sleep(fault.StallHostDelay)
+		}
+	}
 	var outs []*tensor.Tensor
-	err := v.err
+	err := fault.Err
 	if err == nil {
-		outs, err = execBatch(v.mod, job.reqs, b)
+		v := s.variantFor(job.t, job.class, b)
+		if err = v.err; err == nil {
+			outs, err = execBatch(v.mod, job.reqs, b)
+		}
 	}
 	s.mu.Lock()
 	// Advance the clock by the cost the scheduler committed to its
@@ -1531,7 +1573,16 @@ func (s *Server) runBatch(id int, job batchJob) {
 		s.clocks[id] = start + job.cost
 		s.workerBusy[id] += job.cost
 	}
+	if fault.StallSimSeconds > 0 {
+		// A stalled device stream: the batch (and every later start on
+		// this worker) is late by the stall, but no useful work was
+		// bought, so busy seconds stay untouched.
+		s.clocks[id] += fault.StallSimSeconds
+	}
 	s.workerBatches[id]++
+	if err != nil {
+		s.workerFailed[id]++
+	}
 	doneAt := s.clocks[id]
 	device := s.pool.specs[id].DeviceName()
 	st := &job.t.stats
@@ -1543,6 +1594,9 @@ func (s *Server) runBatch(id int, job batchJob) {
 	}
 	st.batches++
 	st.batchSizes[b]++
+	if err != nil {
+		st.failedBatches++
+	}
 	if b > n {
 		st.paddedBatches++
 		st.paddedRows += int64(b - n)

@@ -61,6 +61,10 @@ type DeviceStats struct {
 	Device string
 	// Batches counts batches dispatched to this worker.
 	Batches int64
+	// FailedBatches counts this worker's batches answered with an error
+	// (compile failures, execution errors, injected faults). Sums to the
+	// aggregate Stats.FailedBatches.
+	FailedBatches int64
 	// PaddedBatches counts this worker's batches that ran on a bucket
 	// larger than their real row count (zero-padded rows filled the
 	// rest). Sums to the aggregate Stats.PaddedBatches.
@@ -85,6 +89,16 @@ type Stats struct {
 	// Evictions counts compiled variants dropped by the per-tenant LRU
 	// budget (DeployOptions.MaxVariantBytes).
 	Evictions int64
+	// FailedBatches counts batches answered with an error — compile
+	// failures, execution errors, or faults injected through
+	// ServerOptions.Fault. Every request in a failed batch received the
+	// batch's error.
+	FailedBatches int64
+	// BacklogSeconds is the modeled EFT backlog at snapshot time —
+	// simulated seconds of accepted-but-unfinished work (see
+	// Server.BacklogSeconds). Aggregate snapshots only; 0 on per-model
+	// snapshots.
+	BacklogSeconds float64
 	// PaddedBatches counts batches that ran on a bucket larger than
 	// their real row count (DeployOptions.AllowPadding dispatches).
 	PaddedBatches int64

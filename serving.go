@@ -226,21 +226,182 @@ type Server struct {
 	dev  *Device
 	opts ServerOptions
 	srv  *serve.Server
-	// cache is the shared tuning log, loaded once from CacheFile (nil
-	// without one). Concurrent variant compiles record into it under
-	// its own lock; saves are serialized by saveMu and write the whole
-	// log atomically, so no compile's entries are ever lost to a
-	// load→save race.
-	cache  *tunelog.Log
-	saveMu sync.Mutex
-	// persistErr is the outcome of the latest persistCache attempt
-	// (guarded by saveMu); Close surfaces it.
-	persistErr error
+	// pipe is the shared tenant-compile pipeline (tuning log, persist
+	// path, precision gate); Fleet endpoints build the identical
+	// pipeline, which is what makes a fleet's replicas warm from each
+	// other's entries.
+	pipe *tenantPipeline
+}
+
+// cachePersister owns one endpoint's persistent tuning log: the
+// in-memory log shared by every tenant's compiles, plus the
+// serialized, atomic write-back to its backing file. Saves first
+// merge entries other processes wrote since our load (memory wins),
+// then rename the whole log into place — so within one endpoint no
+// compile's entries are ever lost to a load→save race.
+type cachePersister struct {
+	cache *tunelog.Log
+	file  string
+	mu    sync.Mutex
+	// err is the outcome of the latest persist attempt (guarded by
+	// mu); Close surfaces it.
+	err error
+}
+
+// newCachePersister loads the backing file (when named) into a fresh
+// shared log.
+func newCachePersister(file string) (*cachePersister, error) {
+	cache := tunelog.New()
+	if file != "" {
+		var err error
+		if cache, err = loadCache(file); err != nil {
+			return nil, err
+		}
+	}
+	return &cachePersister{cache: cache, file: file}, nil
+}
+
+// persist writes the shared tuning log back to its file (a no-op
+// without one).
+func (p *cachePersister) persist() error {
+	if p.cache == nil || p.file == "" {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, err := os.Open(p.file); err == nil {
+		// Best-effort, memory-wins merge of external writers' entries
+		// (our fresher results keep their keys); a corrupt or
+		// unreadable file is simply overwritten by our good data.
+		_ = p.cache.Merge(f)
+		f.Close()
+	}
+	p.err = saveCache(p.cache, p.file)
+	return p.err
+}
+
+// lastErr returns the latest persist outcome.
+func (p *cachePersister) lastErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// tenantPipeline is everything one serving endpoint (a Server or
+// every replica of a Fleet) shares across its tenants' variant
+// compiles: the default device for anonymous workers, the device
+// class accuracy gating compiles against, the shared tuning log with
+// its persist hook, and the per-model precision-gate reports.
+type tenantPipeline struct {
+	dev     *Device // anonymous homogeneous workers compile for this device
+	gateDev *Device // device class the accuracy gate decides on
+	cp      *cachePersister
+	jobs    int
 
 	// reports holds each deployed model's precision-gate outcome
 	// (models deployed at PrecisionDefault have no entry).
 	reportsMu sync.Mutex
 	reports   map[string]DeployReport
+}
+
+// tenantCompiler resolves one model's deploy: it runs the precision
+// gate (when requested), records the gate report, and returns the
+// per-(device, bucket) compile closure plus the scheduler-facing
+// options. The closure compiles relay.Rebatch clones through the
+// regular pipeline against the shared tuning log — every endpoint
+// (and every fleet replica) holding the same pipeline compiles
+// measurement-free from its peers' entries.
+func (p *tenantPipeline) tenantCompiler(name string, g *Graph, opts DeployOptions) (serve.CompileVariantOn, serve.DeployOptions, error) {
+	src := g
+	if dt, ok := opts.Precision.dtype(); ok {
+		// Precision-rewrite the source once, gated: the requested
+		// variant must clear the tenant's accuracy budget against the
+		// FP32 RunUnplanned oracle on deterministic calibration batches
+		// or the tenant serves FP32. Numerics are schedule-independent
+		// (functional execution reuses the reference path), so gating on
+		// one device class decides for the whole pool.
+		deployed, rep, err := accuracy.GatePrecision(g, dt, opts.AccuracyBudget,
+			calibrationBatches, calibrationSeed,
+			func(cg *relay.Graph) (*rt.Module, error) {
+				res, err := compileTemplated(cg, p.gateDev, templatedConfig{
+					cache:          p.cp.cache,
+					jobs:           p.jobs,
+					topK:           opts.TopK,
+					trustThreshold: opts.TrustThreshold,
+				})
+				if err != nil {
+					return nil, err
+				}
+				return res.Module, nil
+			})
+		if err != nil {
+			return nil, serve.DeployOptions{}, fmt.Errorf("bolt: deploy %s at %s: %w", name, opts.Precision, err)
+		}
+		src = deployed
+		p.reportsMu.Lock()
+		p.reports[name] = rep
+		p.reportsMu.Unlock()
+	}
+	compile := func(dev *gpu.Device, batch int) (*rt.Module, error) {
+		if dev == nil {
+			dev = p.dev // anonymous homogeneous worker: the endpoint device
+		}
+		vg, err := relay.Rebatch(src, batch)
+		if err != nil {
+			return nil, err
+		}
+		res, err := compileTemplated(vg, dev, templatedConfig{
+			cache:          p.cp.cache,
+			jobs:           p.jobs,
+			topK:           opts.TopK,
+			trustThreshold: opts.TrustThreshold,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// A transient persist failure must not fail the variant: the
+		// module is compiled and serviceable, the entries stay in the
+		// shared in-memory log, and the next persist (next compile or
+		// Close, which surfaces the latest error) retries the write.
+		_ = p.cp.persist()
+		return res.Module, nil
+	}
+	return compile, serve.DeployOptions{
+		Buckets:            opts.Buckets,
+		Weight:             opts.Weight,
+		BatchWindow:        opts.BatchWindow,
+		MaxVariantBytes:    opts.MaxVariantBytes,
+		AllowPadding:       opts.AllowPadding,
+		ContinuousBatching: opts.ContinuousBatching,
+	}, nil
+}
+
+// report looks up a model's precision-gate outcome.
+func (p *tenantPipeline) report(name string) (DeployReport, bool) {
+	p.reportsMu.Lock()
+	defer p.reportsMu.Unlock()
+	rep, ok := p.reports[name]
+	return rep, ok
+}
+
+// validateDeviceList rejects nil entries and same-named devices with
+// different specs: workers that model the same device are grouped
+// into one class by Name and share compiled variants, so two
+// same-named entries with different specs would silently serve one
+// spec's modules on the other's worker. byName accumulates across
+// calls so a fleet's replicas are checked against each other — they
+// share one tuning log, whose keys are device-name-scoped.
+func validateDeviceList(field string, devices []*Device, byName map[string]*Device) error {
+	for i, d := range devices {
+		if d == nil {
+			return fmt.Errorf("bolt: %s[%d] is nil", field, i)
+		}
+		if prev, ok := byName[d.Name]; ok && *prev != *d {
+			return fmt.Errorf("bolt: %s[%d] %q differs from an earlier entry with the same name: same-named devices form one class and must have identical specs", field, i, d.Name)
+		}
+		byName[d.Name] = d
+	}
+	return nil
 }
 
 // NewServer starts an empty multi-tenant server over dev (or over
@@ -253,33 +414,29 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 		return nil, fmt.Errorf("bolt: ServerOptions.Workers (%d) and ServerOptions.Devices (%d entries) are mutually exclusive: Devices already implies one worker per device — set exactly one of them",
 			opts.Workers, len(opts.Devices))
 	}
-	// Workers that model the same device are grouped into one class by
-	// Name and share compiled variants, so two same-named entries with
-	// different specs would silently serve one spec's modules on the
-	// other's worker — reject the mismatch here, where it is visible.
-	byName := make(map[string]*Device)
-	for i, d := range opts.Devices {
-		if d == nil {
-			return nil, fmt.Errorf("bolt: ServerOptions.Devices[%d] is nil", i)
-		}
-		if prev, ok := byName[d.Name]; ok && *prev != *d {
-			return nil, fmt.Errorf("bolt: ServerOptions.Devices[%d] %q differs from an earlier entry with the same name: same-named devices form one class and must have identical specs", i, d.Name)
-		}
-		byName[d.Name] = d
+	if err := validateDeviceList("ServerOptions.Devices", opts.Devices, make(map[string]*Device)); err != nil {
+		return nil, err
 	}
 	// The server always keeps an in-memory tuning log: it is the home
 	// of the shared cost model that guided variant compiles rank by,
 	// and it lets every tenant's compiles learn from each other within
 	// the process even when nothing persists. With CacheFile set it is
 	// additionally loaded from (and persisted to) disk.
-	cache := tunelog.New()
-	if opts.CacheFile != "" {
-		var err error
-		if cache, err = loadCache(opts.CacheFile); err != nil {
-			return nil, err
-		}
+	cp, err := newCachePersister(opts.CacheFile)
+	if err != nil {
+		return nil, err
 	}
-	s := &Server{dev: dev, opts: opts, cache: cache, reports: make(map[string]DeployReport)}
+	gateDev := dev
+	if len(opts.Devices) > 0 {
+		gateDev = opts.Devices[0]
+	}
+	s := &Server{dev: dev, opts: opts, pipe: &tenantPipeline{
+		dev:     dev,
+		gateDev: gateDev,
+		cp:      cp,
+		jobs:    opts.Jobs,
+		reports: make(map[string]DeployReport),
+	}}
 	s.srv = serve.NewServer(serve.ServerOptions{
 		Workers:     opts.Workers,
 		Devices:     opts.Devices,
@@ -302,79 +459,11 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 // keys keep both families in one cache file. The source graph is
 // never mutated and its weights are shared across all variants.
 func (s *Server) Deploy(name string, g *Graph, opts DeployOptions) error {
-	src := g
-	if dt, ok := opts.Precision.dtype(); ok {
-		// Precision-rewrite the source once, gated: the requested
-		// variant must clear the tenant's accuracy budget against the
-		// FP32 RunUnplanned oracle on deterministic calibration batches
-		// or the tenant serves FP32. Numerics are schedule-independent
-		// (functional execution reuses the reference path), so gating on
-		// one device class decides for the whole pool.
-		gateDev := s.gateDevice()
-		deployed, rep, err := accuracy.GatePrecision(g, dt, opts.AccuracyBudget,
-			calibrationBatches, calibrationSeed,
-			func(cg *relay.Graph) (*rt.Module, error) {
-				res, err := compileTemplated(cg, gateDev, templatedConfig{
-					cache:          s.cache,
-					jobs:           s.opts.Jobs,
-					topK:           opts.TopK,
-					trustThreshold: opts.TrustThreshold,
-				})
-				if err != nil {
-					return nil, err
-				}
-				return res.Module, nil
-			})
-		if err != nil {
-			return fmt.Errorf("bolt: deploy %s at %s: %w", name, opts.Precision, err)
-		}
-		src = deployed
-		s.reportsMu.Lock()
-		s.reports[name] = rep
-		s.reportsMu.Unlock()
+	compile, sopts, err := s.pipe.tenantCompiler(name, g, opts)
+	if err != nil {
+		return err
 	}
-	compile := func(dev *gpu.Device, batch int) (*rt.Module, error) {
-		if dev == nil {
-			dev = s.dev // anonymous homogeneous worker: the server device
-		}
-		vg, err := relay.Rebatch(src, batch)
-		if err != nil {
-			return nil, err
-		}
-		res, err := compileTemplated(vg, dev, templatedConfig{
-			cache:          s.cache,
-			jobs:           s.opts.Jobs,
-			topK:           opts.TopK,
-			trustThreshold: opts.TrustThreshold,
-		})
-		if err != nil {
-			return nil, err
-		}
-		// A transient persist failure must not fail the variant: the
-		// module is compiled and serviceable, the entries stay in the
-		// shared in-memory log, and the next persist (next compile or
-		// Close, which surfaces the latest error) retries the write.
-		_ = s.persistCache()
-		return res.Module, nil
-	}
-	return s.srv.DeployOn(name, compile, serve.DeployOptions{
-		Buckets:            opts.Buckets,
-		Weight:             opts.Weight,
-		BatchWindow:        opts.BatchWindow,
-		MaxVariantBytes:    opts.MaxVariantBytes,
-		AllowPadding:       opts.AllowPadding,
-		ContinuousBatching: opts.ContinuousBatching,
-	})
-}
-
-// gateDevice picks the device class accuracy gating compiles against:
-// the first pool device on a heterogeneous server, otherwise the
-// server's own device.
-func (s *Server) gateDevice() *gpu.Device {
-	if len(s.opts.Devices) > 0 {
-		return s.opts.Devices[0]
-	}
-	return s.dev
+	return s.srv.DeployOn(name, compile, sopts)
 }
 
 // DeployReport returns the precision-gate outcome for a model deployed
@@ -383,10 +472,7 @@ func (s *Server) gateDevice() *gpu.Device {
 // accuracy budget rejected the requested variant. ok is false for
 // unknown models and for models served as authored.
 func (s *Server) DeployReport(name string) (DeployReport, bool) {
-	s.reportsMu.Lock()
-	defer s.reportsMu.Unlock()
-	rep, ok := s.reports[name]
-	return rep, ok
+	return s.pipe.report(name)
 }
 
 // Undeploy removes a model: new requests for it fail with
@@ -419,7 +505,16 @@ func (s *Server) Warm(model string, buckets ...int) error {
 
 // Stats aggregates every model's serving counters (with per-priority
 // latency windows; see ServeStats.PriorityPercentile).
+// ServeStats.BacklogSeconds carries the modeled EFT backlog at
+// snapshot time; use Backlog for the probe alone.
 func (s *Server) Stats() ServeStats { return s.srv.Stats() }
+
+// Backlog returns the server's modeled EFT backlog — the simulated
+// seconds of accepted-but-unfinished work (queued rows priced by the
+// dispatcher's own memoized bucket costs, plus committed-but-unretired
+// batch time) — without building a full stats snapshot. This is the
+// signal fleet routers and autoscalers balance on.
+func (s *Server) Backlog() float64 { return s.srv.BacklogSeconds() }
 
 // ModelStats returns one deployed model's serving counters.
 func (s *Server) ModelStats(name string) (ServeStats, bool) { return s.srv.ModelStats(name) }
@@ -430,35 +525,12 @@ func (s *Server) ModelStats(name string) (ServeStats, bool) { return s.srv.Model
 // final persist. Safe to call more than once.
 func (s *Server) Close() error {
 	s.srv.Close()
-	s.saveMu.Lock()
-	defer s.saveMu.Unlock()
-	return s.persistErr
+	return s.pipe.cp.lastErr()
 }
 
-// persistCache writes the shared tuning log back to CacheFile (a
-// no-op without one). Saves are serialized and atomic (temp file +
-// rename), and every save first merges entries another process wrote
-// to the file since our load, then writes the whole shared log — so
-// within this server no compile's entries are ever lost (the failure
-// mode of the old per-compile load→save cycle), and concurrent
-// external writers (boltc, another server) lose at most entries
-// written inside the merge→rename race window.
-func (s *Server) persistCache() error {
-	if s.cache == nil || s.opts.CacheFile == "" {
-		return nil
-	}
-	s.saveMu.Lock()
-	defer s.saveMu.Unlock()
-	if f, err := os.Open(s.opts.CacheFile); err == nil {
-		// Best-effort, memory-wins merge of external writers' entries
-		// (our fresher results keep their keys); a corrupt or
-		// unreadable file is simply overwritten by our good data.
-		_ = s.cache.Merge(f)
-		f.Close()
-	}
-	s.persistErr = saveCache(s.cache, s.opts.CacheFile)
-	return s.persistErr
-}
+// persistCache flushes the shared tuning log (see
+// cachePersister.persist; kept as a method for the close hook).
+func (s *Server) persistCache() error { return s.pipe.cp.persist() }
 
 // ServeOptions configures NewEngine (the single-model compatibility
 // surface; new code should use NewServer + ServerOptions).
