@@ -7,16 +7,19 @@
 //	boltbench -quick          # reduced tuning budgets (seconds)
 //	boltbench -exp fig8a      # one experiment
 //	boltbench -list           # list experiment ids
+//	boltbench -exp tab4 -trace out.json  # also dump a Perfetto trace
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bolt/internal/bench"
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 )
 
 func main() {
@@ -25,6 +28,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	ablations := flag.Bool("ablations", false, "run the ablation/extension experiments instead")
 	device := flag.String("device", "t4", "device model: t4 or a100")
+	trace := flag.String("trace", "", "write the serving experiments' request-lifecycle spans to this file (Chrome trace-event JSON, viewable in Perfetto); the fleet experiment's stall arm lands in <file>.stall.json")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +66,10 @@ func main() {
 	s.ColdstartArtifact = "BENCH_pr7.json"
 	s.PrecisionArtifact = "BENCH_pr8.json"
 	s.FleetArtifact = "BENCH_pr9.json"
+	if *trace != "" {
+		s.Trace = obs.NewTracer()
+		s.StallTrace = obs.NewTracer()
+	}
 	fmt.Printf("device: %s (%s)  quick=%v\n\n", dev.Name, dev.Arch, *quick)
 
 	regen := func(id string) func() *bench.Table {
@@ -87,4 +95,25 @@ func main() {
 		fmt.Println(table.Render())
 		fmt.Printf("  [regenerated in %v]\n\n", time.Since(t0).Round(time.Millisecond))
 	}
+
+	if *trace != "" {
+		writeTrace(*trace, s.Trace)
+		if s.StallTrace.Len() > 0 {
+			writeTrace(strings.TrimSuffix(*trace, ".json")+".stall.json", s.StallTrace)
+		}
+	}
+}
+
+// writeTrace exports one tracer as Chrome trace-event JSON and reports
+// its span count (plus any spans dropped to full ring buffers).
+func writeTrace(path string, tr *obs.Tracer) {
+	if err := os.WriteFile(path, tr.ExportJSON(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write trace %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	msg := fmt.Sprintf("trace: %d spans -> %s", tr.Len(), path)
+	if d := tr.Dropped(); d > 0 {
+		msg += fmt.Sprintf(" (%d dropped)", d)
+	}
+	fmt.Println(msg)
 }

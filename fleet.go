@@ -80,6 +80,13 @@ type FleetOptions struct {
 	// Failures seeds the random failure injector; scripted
 	// deterministic faults go through Fleet.InjectFault regardless.
 	Failures *FailurePlan
+	// Trace, when set, records every replica's request-lifecycle spans
+	// plus the router's route/hedge/retry spans into the tracer.
+	// Tracing never touches the simulated clocks.
+	Trace *Tracer
+	// TraceLabel names the router's process in the exported trace
+	// ("fleet" when empty; replicas are always "replica N").
+	TraceLabel string
 }
 
 // Fleet is the replicated serving endpoint: N Server-equivalent
@@ -144,6 +151,8 @@ func NewFleet(dev *Device, opts FleetOptions) (*Fleet, error) {
 		Hedge:       opts.Hedge,
 		Autoscale:   opts.Autoscale,
 		Failures:    opts.Failures,
+		Trace:       opts.Trace,
+		TraceLabel:  opts.TraceLabel,
 		// Closing the fleet flushes the shared tuning log, mirroring
 		// Server.
 		OnClose: func() { _ = cp.persist() },
@@ -222,6 +231,12 @@ func (f *Fleet) InjectFault(replica, worker, count int, fault BatchFault) {
 // Stats snapshots the fleet: per-replica rows plus their exact
 // aggregate (quiesce first when exact sums matter).
 func (f *Fleet) Stats() FleetStats { return f.flt.Stats() }
+
+// Snapshot renders the fleet's always-on metrics as a deterministic
+// text exposition: every replica's rows merged (counters add,
+// histograms merge) plus the router's hedge/retry/autoscale counters.
+// Works whether or not tracing is enabled.
+func (f *Fleet) Snapshot() string { return f.flt.Snapshot() }
 
 // Close stops accepting requests, drains every replica, and persists
 // the shared tuning log, returning the outcome of that final persist.

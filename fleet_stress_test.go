@@ -185,8 +185,18 @@ func TestFleetStatsAggregationExact(t *testing.T) {
 			wg.Add(1)
 			go func(in *bolt.Tensor) {
 				defer wg.Done()
-				if _, err := flt.Infer("m", map[string]*bolt.Tensor{"image": in}, bolt.InferOptions{}); err != nil {
+				ch, err := flt.InferAsync("m", map[string]*bolt.Tensor{"image": in}, bolt.InferOptions{})
+				if err != nil {
 					t.Errorf("infer: %v", err)
+					return
+				}
+				res := <-ch
+				if res.Err != nil {
+					t.Errorf("infer: %v", res.Err)
+					return
+				}
+				if got := res.QueueWait + res.ExecuteSeconds; got != res.SimLatency {
+					t.Errorf("fleet result breakdown %v != SimLatency %v", got, res.SimLatency)
 				}
 			}(in)
 		}

@@ -11,6 +11,7 @@ import (
 
 	"bolt/internal/fleet"
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 	"bolt/internal/rt"
 	"bolt/internal/serve"
 	"bolt/internal/tensor"
@@ -156,13 +157,17 @@ type fleetArtifact struct {
 
 // runFleetArm replays one stream against a fresh three-replica fleet
 // (four workers each) with the given hedge policy and fault script.
-func (s *Suite) runFleetArm(arm string, log *tunelog.Log, hedge fleet.HedgeOptions, inject func(*fleet.Fleet), inputs []map[string]*tensor.Tensor, arrivals []float64) fleetArmRow {
+// When tr is set, the arm's route/hedge/retry spans and each replica's
+// request-lifecycle spans are recorded into it.
+func (s *Suite) runFleetArm(arm string, log *tunelog.Log, hedge fleet.HedgeOptions, inject func(*fleet.Fleet), inputs []map[string]*tensor.Tensor, arrivals []float64, tr *obs.Tracer) fleetArmRow {
 	f := fleet.New(fleet.Options{
 		Replicas:    []fleet.ReplicaConfig{{Workers: 4}, {Workers: 4}, {Workers: 4}},
 		QueueDepth:  len(inputs),
 		BatchWindow: 2 * time.Millisecond,
 		CompileJobs: 2,
 		Hedge:       hedge,
+		Trace:       tr,
+		TraceLabel:  "fleet " + arm,
 	})
 	if err := f.Deploy("fleetnet", s.fleetCompiler(log, nil), serve.DeployOptions{
 		Buckets: []int{1, 2, 4, 8},
@@ -351,13 +356,13 @@ func (s *Suite) runFleet() fleetArtifact {
 		P99Budget: fleetP99Budget,
 	}
 
-	healthy := s.runFleetArm("healthy", log, fleet.HedgeOptions{}, nil, inputs, arrivals)
+	healthy := s.runFleetArm("healthy", log, fleet.HedgeOptions{}, nil, inputs, arrivals, s.Trace)
 	kill := s.runFleetArm("worker kill (retried)", log, fleet.HedgeOptions{}, func(f *fleet.Fleet) {
 		// The first batch dispatched on replica 0's worker 0 fails; the
 		// router retries its requests on the healthy replicas at normal
 		// priority (so the rescues still coalesce into buckets).
 		f.InjectFault(0, 0, 1, serve.BatchFault{Err: fleet.ErrInjectedKill})
-	}, inputs, arrivals)
+	}, inputs, arrivals, nil)
 	stall := s.runFleetArm("worker stall (hedged)", log, fleet.HedgeOptions{Timeout: 40 * time.Millisecond}, func(f *fleet.Fleet) {
 		// The first batch on replica 0's worker 0 stalls far past the
 		// hedge timeout; its requests are duplicated on the healthy
@@ -371,7 +376,7 @@ func (s *Suite) runFleet() fleetArtifact {
 			StallSimSeconds: 0.05,
 			StallHostDelay:  2 * time.Second,
 		})
-	}, inputs, arrivals)
+	}, inputs, arrivals, s.StallTrace)
 	for _, r := range []*fleetArmRow{&healthy, &kill, &stall} {
 		if healthy.P99Us > 0 {
 			r.P99VsHealthy = r.P99Us / healthy.P99Us

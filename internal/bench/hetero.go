@@ -122,12 +122,14 @@ type heteroArtifact struct {
 
 // floodPool replays the prepared request stream against one pool
 // configuration and returns its aggregate stats.
-func (s *Suite) floodPool(devices []*gpu.Device, log *tunelog.Log, inputs []map[string]*tensor.Tensor, arrivals []float64) serve.Stats {
+func (s *Suite) floodPool(devices []*gpu.Device, log *tunelog.Log, inputs []map[string]*tensor.Tensor, arrivals []float64, label string) serve.Stats {
 	srv := serve.NewServer(serve.ServerOptions{
 		Devices:     devices,
 		QueueDepth:  len(inputs),
 		BatchWindow: 10 * time.Millisecond,
 		CompileJobs: 2,
+		Trace:       s.Trace,
+		TraceLabel:  label,
 	})
 	defer srv.Close()
 	if err := srv.DeployOn("widenet", s.tenantCompilerOn(heteroModel(), log), serve.DeployOptions{
@@ -213,7 +215,7 @@ func (s *Suite) runHetero() heteroArtifact {
 		{"2x A100", []*gpu.Device{a100, a100}},
 	}
 	for _, p := range pools {
-		st := s.floodPool(p.devices, log, inputs, arrivals)
+		st := s.floodPool(p.devices, log, inputs, arrivals, "hetero "+p.name)
 		row := heteroRow{
 			Pool:       p.name,
 			Requests:   st.Requests,

@@ -104,6 +104,8 @@ func (s *Suite) runMultiModel() multiModelArtifact {
 		QueueDepth:  len(tenants) * requests,
 		BatchWindow: 5 * time.Millisecond,
 		CompileJobs: 2,
+		Trace:       s.Trace,
+		TraceLabel:  "multimodel",
 	})
 	defer srv.Close()
 	for _, tn := range tenants {

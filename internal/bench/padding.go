@@ -96,6 +96,8 @@ func (s *Suite) floodPadding(devices []*gpu.Device, log *tunelog.Log, pol paddin
 		QueueDepth:  len(inputs),
 		BatchWindow: 10 * time.Millisecond,
 		CompileJobs: 2,
+		Trace:       s.Trace,
+		TraceLabel:  "padding " + pol.name,
 	})
 	defer srv.Close()
 	if err := srv.DeployOn("widenet", gated, serve.DeployOptions{

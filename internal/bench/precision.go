@@ -152,6 +152,8 @@ func (s *Suite) runPrecision() precisionArtifact {
 			QueueDepth:  requests,
 			BatchWindow: 10 * time.Millisecond,
 			CompileJobs: 2,
+			Trace:       s.Trace,
+			TraceLabel:  "precision " + a.name,
 		})
 		if err := srv.DeployOn("bertmlp", s.tenantCompilerOn(deployed[i], log), serve.DeployOptions{
 			Buckets: []int{1, 2, 4, 8},

@@ -91,12 +91,14 @@ type servingArtifact struct {
 // floodEngine replays the prepared requests (with their simulated
 // arrival times) against one engine configuration and returns its
 // serving stats.
-func (s *Suite) floodEngine(log *tunelog.Log, workers int, buckets []int, inputs []map[string]*tensor.Tensor, arrivals []float64) serve.Stats {
+func (s *Suite) floodEngine(log *tunelog.Log, workers int, buckets []int, inputs []map[string]*tensor.Tensor, arrivals []float64, label string) serve.Stats {
 	eng, err := serve.New(s.servingCompiler(log), serve.Options{
 		Buckets:     buckets,
 		Workers:     workers,
 		QueueDepth:  len(inputs),
 		BatchWindow: 5 * time.Millisecond,
+		Trace:       s.Trace,
+		TraceLabel:  label,
 	})
 	if err != nil {
 		panic(err)
@@ -186,7 +188,8 @@ func (s *Suite) runServing() servingArtifact {
 	}
 	var base, four float64
 	for _, c := range configs {
-		st := s.floodEngine(log, c.workers, c.buckets, inputs, arrivals)
+		label := fmt.Sprintf("serving %dw b%d", c.workers, c.buckets[len(c.buckets)-1])
+		st := s.floodEngine(log, c.workers, c.buckets, inputs, arrivals, label)
 		row := servingRun{
 			Workers:    c.workers,
 			MaxBucket:  c.buckets[len(c.buckets)-1],

@@ -4,6 +4,7 @@ import (
 	"bolt/internal/ansor"
 	"bolt/internal/cublaslike"
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 	"bolt/internal/profiler"
 )
 
@@ -62,6 +63,18 @@ type Suite struct {
 	// FleetArtifact, when set, is where the fleet experiment writes its
 	// JSON artifact (boltbench points it at BENCH_pr9.json).
 	FleetArtifact string
+	// Trace, when set, records the serving experiments'
+	// request-lifecycle spans — every serving arm's server is handed
+	// this tracer, with the arm's name as its process label (boltbench
+	// wires -trace here). Tracing never changes the measured numbers:
+	// artifacts are bit-identical with and without it.
+	Trace *obs.Tracer
+	// StallTrace, when set, records the fleet experiment's
+	// worker-stall arm separately, so the hedged-recovery span tree
+	// (route/hedge wrapping the replicas' request spans) is inspectable
+	// without the healthy arm's traffic interleaved (boltbench derives
+	// its output path from -trace).
+	StallTrace *obs.Tracer
 
 	seed     int64
 	e2eCache []e2eResult

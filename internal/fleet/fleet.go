@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 	"bolt/internal/serve"
 	"bolt/internal/tensor"
 )
@@ -89,6 +90,15 @@ type Options struct {
 	// replica drained (the bolt wrapper persists the shared tuning log
 	// here).
 	OnClose func()
+	// Trace, when set, records route/hedge/retry spans from the router
+	// plus every replica's request-lifecycle spans into the tracer.
+	// Each replica registers its own trace process ("replica N"); the
+	// router's spans live under the fleet's process. Tracing never
+	// touches the simulated clocks.
+	Trace *obs.Tracer
+	// TraceLabel names the fleet's router process in the exported trace
+	// ("fleet" when empty).
+	TraceLabel string
 }
 
 // tenantSpec is one deployed model's recipe, kept so replicas added
@@ -125,6 +135,10 @@ type Fleet struct {
 	opts Options
 	inj  *injector
 
+	tr      *obs.Tracer // nil when Options.Trace unset
+	trProc  int         // the router's trace process id
+	trShard *obs.Shard  // the router's span shard
+
 	mu       sync.Mutex
 	replicas []*replica // every replica ever, by id (retired keep their stats)
 	tenants  map[string]*tenantSpec
@@ -158,6 +172,15 @@ func New(opts Options) *Fleet {
 		inj:     newInjector(opts.Failures),
 		tenants: make(map[string]*tenantSpec),
 	}
+	if opts.Trace != nil {
+		label := opts.TraceLabel
+		if label == "" {
+			label = "fleet"
+		}
+		f.tr = opts.Trace
+		f.trProc = f.tr.RegisterProcess(label)
+		f.trShard = f.tr.NewShard()
+	}
 	for _, cfg := range opts.Replicas {
 		f.addReplicaLocked(cfg, false)
 	}
@@ -183,6 +206,8 @@ func (f *Fleet) addReplicaLocked(cfg ReplicaConfig, grown bool) *replica {
 		BatchWindow: f.opts.BatchWindow,
 		CompileJobs: f.opts.CompileJobs,
 		Fault:       f.inj.hook(r.id),
+		Trace:       f.opts.Trace,
+		TraceLabel:  fmt.Sprintf("replica %d", r.id),
 	})
 	f.replicas = append(f.replicas, r)
 	return r

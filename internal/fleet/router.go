@@ -3,6 +3,7 @@ package fleet
 import (
 	"time"
 
+	"bolt/internal/obs"
 	"bolt/internal/serve"
 	"bolt/internal/tensor"
 )
@@ -101,17 +102,89 @@ func (f *Fleet) noteResult(r *replica, failed bool) {
 	f.mu.Unlock()
 }
 
+// routeNote carries one routed request's placement story for span
+// emission at delivery time. Replica ids are -1 until that transition
+// actually happened.
+type routeNote struct {
+	model     string
+	hedgeFrom int // replica whose risk triggered the hedge
+	hedgeTo   int // replica the duplicate was placed on
+	retryFrom int // replica whose failure triggered the retry
+	retryTo   int // replica the follow-up was placed on
+}
+
+func newRouteNote(model string) routeNote {
+	return routeNote{model: model, hedgeFrom: -1, hedgeTo: -1, retryFrom: -1, retryTo: -1}
+}
+
 // deliver hands the winning result to the caller (the watch goroutine
 // is the channel's only sender, so a hedged loser can never
-// double-send).
-func (f *Fleet) deliver(out chan<- Result, res serve.Result, rep *replica, hedged, retried bool) {
+// double-send) and emits the request's fleet-level spans.
+func (f *Fleet) deliver(out chan<- Result, res serve.Result, rep *replica, hedged, retried bool, note routeNote) {
 	f.mu.Lock()
 	f.delivered++
 	if res.Err != nil {
 		f.deliveredErrs++
 	}
 	f.mu.Unlock()
+	f.emitRoute(res, rep, hedged, retried, note)
 	out <- Result{Result: res, Replica: rep.id, Hedged: hedged, Retried: retried}
+}
+
+// emitRoute records the fleet-level span tree for one delivered
+// request: a route span covering the request's simulated lifetime on
+// the winning replica, wrapped around hedge/retry spans when the
+// router placed extra attempts. Spans are priced on the delivered
+// result's sim-clock interval, so they nest exactly around the
+// replica's own request spans in the exported trace.
+func (f *Fleet) emitRoute(res serve.Result, rep *replica, hedged, retried bool, note routeNote) {
+	if f.tr == nil {
+		return
+	}
+	start, dur := res.SimArrival, res.SimLatency
+	if dur < 0 {
+		dur = 0
+	}
+	f.trShard.Emit(obs.Span{
+		Name: obs.KindRoute, Cat: obs.CatFleet, Proc: f.trProc,
+		Track: "router", Start: start, Dur: dur,
+		Args: []obs.Arg{
+			{Key: "model", Val: note.model},
+			{Key: "replica", Val: rep.id},
+			{Key: "hedged", Val: hedged},
+			{Key: "retried", Val: retried},
+			{Key: "error", Val: res.Err != nil},
+		},
+	})
+	if note.hedgeTo >= 0 {
+		loser := note.hedgeFrom
+		if loser == rep.id {
+			loser = note.hedgeTo
+		}
+		f.trShard.Emit(obs.Span{
+			Name: obs.KindHedge, Cat: obs.CatFleet, Proc: f.trProc,
+			Track: "router", Start: start, Dur: dur,
+			Args: []obs.Arg{
+				{Key: "model", Val: note.model},
+				{Key: "from", Val: note.hedgeFrom},
+				{Key: "to", Val: note.hedgeTo},
+				{Key: "winner", Val: rep.id},
+				{Key: "loser", Val: loser},
+			},
+		})
+	}
+	if note.retryTo >= 0 {
+		f.trShard.Emit(obs.Span{
+			Name: obs.KindRetry, Cat: obs.CatFleet, Proc: f.trProc,
+			Track: "router", Start: start, Dur: dur,
+			Args: []obs.Arg{
+				{Key: "model", Val: note.model},
+				{Key: "from", Val: note.retryFrom},
+				{Key: "to", Val: note.retryTo},
+				{Key: "delivered", Val: rep.id},
+			},
+		})
+	}
 }
 
 // drainLoser consumes a hedged duplicate that lost the race, so its
@@ -140,10 +213,12 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 	var aRes, bRes *serve.Result
 	hedged := false
 	isRetry := false // b is a retry (a already failed) rather than a hedge
+	note := newRouteNote(model)
 	var timer <-chan time.Time
 	if hedgeNow {
 		if b = f.issueAttempt(model, inputs, opts, a.rep); b != nil {
 			hedged = true
+			note.hedgeFrom, note.hedgeTo = a.rep.id, b.rep.id
 			f.mu.Lock()
 			a.rep.hedgesIssued++
 			f.mu.Unlock()
@@ -168,7 +243,7 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 			aRes = &res
 			f.noteResult(a.rep, res.Err != nil)
 			if res.Err == nil {
-				f.deliver(out, res, a.rep, hedged, false)
+				f.deliver(out, res, a.rep, hedged, false, note)
 				if b != nil && bRes == nil {
 					f.drainLoser(b)
 				}
@@ -180,11 +255,12 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 				timer = nil
 				if b = f.issueAttempt(model, inputs, opts, a.rep); b != nil {
 					isRetry = true
+					note.retryFrom, note.retryTo = a.rep.id, b.rep.id
 					f.mu.Lock()
 					a.rep.retries++
 					f.mu.Unlock()
 				} else {
-					f.deliver(out, res, a.rep, hedged, false)
+					f.deliver(out, res, a.rep, hedged, false, note)
 					return
 				}
 			}
@@ -198,7 +274,7 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 					b.rep.hedgesWon++
 					f.mu.Unlock()
 				}
-				f.deliver(out, res, b.rep, hedged, isRetry || aRes != nil)
+				f.deliver(out, res, b.rep, hedged, isRetry || aRes != nil, note)
 				if aRes == nil {
 					f.drainLoser(&a)
 				}
@@ -206,7 +282,7 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 			}
 			if aRes != nil {
 				// Both attempts failed: deliver the follow-up's error.
-				f.deliver(out, res, b.rep, hedged, isRetry)
+				f.deliver(out, res, b.rep, hedged, isRetry, note)
 				return
 			}
 			// The hedge failed first; keep waiting on the primary.
@@ -214,6 +290,7 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 			timer = nil
 			if b = f.issueAttempt(model, inputs, opts, a.rep); b != nil {
 				hedged = true
+				note.hedgeFrom, note.hedgeTo = a.rep.id, b.rep.id
 				f.mu.Lock()
 				a.rep.hedgesIssued++
 				f.mu.Unlock()
@@ -222,5 +299,5 @@ func (f *Fleet) watch(model string, inputs map[string]*tensor.Tensor, opts serve
 	}
 	// Fell out of the loop: the primary failed after its hedge had
 	// already failed. Deliver the primary's error.
-	f.deliver(out, *aRes, a.rep, hedged, false)
+	f.deliver(out, *aRes, a.rep, hedged, false, note)
 }

@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"bolt/internal/obs"
+)
+
+// This file is the fleet's metrics exposition: every replica fills
+// the same obs.Registry (counters add, gauges keep their maximum,
+// histograms merge — so the per-stage latency histograms aggregate
+// across the whole fleet), then the router's own counters are layered
+// on top. Per-worker rows share worker indices across replicas and
+// therefore add; the replica-resolved story lives in Stats.
+
+// Snapshot renders the fleet's metrics as a deterministic text
+// exposition: the merged replica expositions (request/batch counters,
+// stage-latency histograms, per-priority breakdowns) plus the
+// fleet-level routing counters (routed/delivered, hedges, retries,
+// autoscale events). It works whether or not tracing is enabled.
+func (f *Fleet) Snapshot() string {
+	reg := obs.NewRegistry()
+	f.FillRegistry(reg)
+	return reg.Render()
+}
+
+// FillRegistry adds the fleet's metric rows into reg: each replica's
+// serve exposition merged together, plus the router's counters.
+func (f *Fleet) FillRegistry(reg *obs.Registry) {
+	f.mu.Lock()
+	reps := append([]*replica(nil), f.replicas...)
+	var hi, hw, hc, ret, grow, shrink int64
+	var liveCount int
+	for _, r := range reps {
+		hi += r.hedgesIssued
+		hw += r.hedgesWon
+		hc += r.hedgesCanceled
+		ret += r.retries
+		grow += r.growEvents
+		shrink += r.shrinkEvents
+		if r.live {
+			liveCount++
+		}
+	}
+	routed, delivered, delErrs := f.routed, f.delivered, f.deliveredErrs
+	f.mu.Unlock()
+
+	// Replica snapshots lock each server; taken outside f.mu so a slow
+	// replica cannot stall routing.
+	for _, r := range reps {
+		r.srv.FillRegistry(reg)
+	}
+	reg.Counter("fleet_routed_total", nil, float64(routed))
+	reg.Counter("fleet_delivered_total", nil, float64(delivered))
+	reg.Counter("fleet_delivered_errors_total", nil, float64(delErrs))
+	reg.Counter("fleet_hedges_issued_total", nil, float64(hi))
+	reg.Counter("fleet_hedges_won_total", nil, float64(hw))
+	reg.Counter("fleet_hedges_canceled_total", nil, float64(hc))
+	reg.Counter("fleet_retries_total", nil, float64(ret))
+	reg.Counter("fleet_grow_events_total", nil, float64(grow))
+	reg.Counter("fleet_shrink_events_total", nil, float64(shrink))
+	reg.Gauge("fleet_live_replicas", nil, float64(liveCount))
+}

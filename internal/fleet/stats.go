@@ -92,6 +92,7 @@ func (f *Fleet) Stats() Stats {
 	agg := serve.Stats{
 		BatchSizes:        make(map[int]int64),
 		PriorityLatencies: make(map[serve.Priority][]float64),
+		Stages:            make(map[serve.Priority]serve.StageBreakdown),
 	}
 	for i, r := range reps {
 		st := r.srv.Stats()
@@ -109,6 +110,11 @@ func (f *Fleet) Stats() Stats {
 		agg.Latencies = append(agg.Latencies, st.Latencies...)
 		for pri, w := range st.PriorityLatencies {
 			agg.PriorityLatencies[pri] = append(agg.PriorityLatencies[pri], w...)
+		}
+		for pri, b := range st.Stages {
+			merged := agg.Stages[pri]
+			merged.Add(b)
+			agg.Stages[pri] = merged
 		}
 		agg.Devices = append(agg.Devices, st.Devices...)
 		if st.SimMakespan > agg.SimMakespan {

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmptyPercentile(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty histogram p%v = %v, want 0", p, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram stats: count %d sum %v min %v max %v",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramSingleObservation(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	const v = 3.7e-4
+	h.Observe(v)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := h.Percentile(p); got != v {
+			t.Fatalf("single-observation p%v = %v, want exactly %v", p, got, v)
+		}
+	}
+	if h.Count() != 1 || h.Sum() != v || h.Min() != v || h.Max() != v {
+		t.Fatalf("single-observation stats: count %d sum %v min %v max %v",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	h := NewHistogram(bounds)
+	// Observations landing exactly on bucket upper bounds must count
+	// into that bucket (le semantics) and report the bound exactly
+	// when every observation shares it.
+	for i := 0; i < 10; i++ {
+		h.Observe(2)
+	}
+	counts := h.Counts()
+	if counts[1] != 10 {
+		t.Fatalf("boundary value 2 landed in counts %v, want all in bucket le=2", counts)
+	}
+	for _, p := range []float64{1, 50, 100} {
+		if got := h.Percentile(p); got != 2 {
+			t.Fatalf("all-on-boundary p%v = %v, want exactly 2", p, got)
+		}
+	}
+	// Above the last bound goes to the +Inf bucket and the percentile
+	// stays within [min, max].
+	h.Observe(100)
+	if got := h.Counts()[3]; got != 1 {
+		t.Fatalf("+Inf bucket count = %d, want 1", got)
+	}
+	if got := h.Percentile(100); got != 100 {
+		t.Fatalf("p100 with +Inf observation = %v, want 100", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(DefaultLatencyBuckets())
+	b := NewHistogram(DefaultLatencyBuckets())
+	a.Observe(1e-5)
+	a.Observe(2e-3)
+	b.Observe(4e-2)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d, want 3", a.Count())
+	}
+	if got, want := a.Sum(), 1e-5+2e-3+4e-2; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("merged sum = %v, want %v", got, want)
+	}
+	if a.Min() != 1e-5 || a.Max() != 4e-2 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+// TestHistogramNearestRankEquivalence is the satellite gate for
+// replacing sort-based quantiles: on dense data the histogram-backed
+// percentile must agree with the exact nearest-rank sample percentile
+// to within one bucket's width.
+func TestHistogramNearestRankEquivalence(t *testing.T) {
+	// Fine uniform buckets over the data range.
+	const width = 1e-4
+	var bounds []float64
+	for b := width; b <= 0.1+width; b += width {
+		bounds = append(bounds, b)
+	}
+	h := NewHistogram(bounds)
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := rng.Float64() * 0.1
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	sort.Float64s(xs)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 99.9} {
+		exact := NearestRank(xs, p)
+		est := h.Percentile(p)
+		if math.Abs(est-exact) > width {
+			t.Fatalf("p%v: histogram %v vs nearest-rank %v differ by more than bucket width %v",
+				p, est, exact, width)
+		}
+	}
+}
+
+func TestNearestRankMatchesLegacyFormula(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {10, 1}, {50, 5}, {90, 9}, {99, 10}, {100, 10}}
+	for _, c := range cases {
+		if got := NearestRank(xs, c.p); got != c.want {
+			t.Fatalf("NearestRank(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := NearestRank(nil, 50); got != 0 {
+		t.Fatalf("NearestRank(empty) = %v, want 0", got)
+	}
+}
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("requests_total", nil, 96)
+		r.Counter("requests_total", nil, 4) // accumulates
+		r.Gauge("sim_makespan_seconds", nil, 0.25)
+		r.Gauge("sim_makespan_seconds", nil, 0.125) // max wins
+		h := NewHistogram([]float64{1, 2})
+		h.Observe(0.5)
+		h.Observe(3)
+		r.Histogram("stage_seconds", L("stage", "execute", "priority", "normal"), h)
+		r.Histogram("stage_seconds", L("stage", "execute", "priority", "normal"), h)
+		return r.Render()
+	}
+	a, b := build(), build()
+	if a != b {
+		t.Fatalf("registry render not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	want := "requests_total 100\n"
+	if !contains(a, want) {
+		t.Fatalf("render missing %q:\n%s", want, a)
+	}
+	if !contains(a, "sim_makespan_seconds 0.25\n") {
+		t.Fatalf("gauge did not keep max:\n%s", a)
+	}
+	if !contains(a, `stage_seconds_count{priority="normal",stage="execute"} 4`) {
+		t.Fatalf("histogram rows missing or labels unsorted:\n%s", a)
+	}
+	if !contains(a, `stage_seconds_bucket{priority="normal",stage="execute",le="+Inf"} 4`) {
+		t.Fatalf("+Inf bucket row missing:\n%s", a)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

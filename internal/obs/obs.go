@@ -1,0 +1,289 @@
+// Package obs is the deterministic observability layer for the bolt
+// serving stack: request-lifecycle spans on the simulated clock, a
+// metrics registry with fixed-bucket histograms, and a Chrome
+// trace-event exporter whose output is byte-identical across runs.
+//
+// Everything here is priced in simulated seconds. Spans record *model*
+// decisions (which bucket the planner chose, what each device class
+// would have cost, which worker won the EFT race), not host wall-clock
+// noise, so two seeded runs of the same workload export the same bytes
+// and a trace can be replayed against the scheduler as an oracle.
+//
+// The span taxonomy mirrors a request's path through the stack:
+//
+//	enqueue  -> plan -> compile -> dispatch -> execute -> deliver
+//	(request)  (batch) (variant)   (batch)     (batch)    (request)
+//
+// with fleet-level route / hedge / retry spans wrapping the per-replica
+// tree. Spans are collected into per-worker shards (one mutex each,
+// never contended on the hot path because each emitting goroutine owns
+// its shard) and merged into one canonical order at query/export time.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Span kinds. These are the span names used by the serving stack; the
+// exporter and the query API treat them as opaque strings, so packages
+// may add their own.
+const (
+	KindRequest  = "request"  // per-request root: arrival -> delivery
+	KindEnqueue  = "enqueue"  // batch-formation wait inside the queue
+	KindPlan     = "plan"     // batcher decision: bucket, padding, continuous
+	KindCompile  = "compile"  // variant compile (cold / warm / predicted)
+	KindDispatch = "dispatch" // EFT placement across device classes
+	KindExecute  = "execute"  // batch on a worker's simulated device
+	KindDeliver  = "deliver"  // result handed back to the caller
+	KindRoute    = "route"    // fleet: replica choice, wraps the attempt
+	KindHedge    = "hedge"    // fleet: duplicate attempt, winner/loser
+	KindRetry    = "retry"    // fleet: failed attempt re-routed
+)
+
+// Span categories, used as the Chrome trace "cat" field.
+const (
+	CatRequest = "request"
+	CatBatch   = "batch"
+	CatCompile = "compile"
+	CatFleet   = "fleet"
+)
+
+// Arg is one key/value annotation on a span. Args keep their insertion
+// order in the query API; the JSON exporter sorts keys for stable
+// bytes.
+type Arg struct {
+	Key string
+	Val any // string, bool, int, int64, or float64
+}
+
+// Span is one timed event on the simulated clock. Start and Dur are in
+// simulated seconds. Proc and Track place the span on a Perfetto
+// process/thread pair; Req groups the spans of one request so tests can
+// reassemble its lifecycle tree.
+type Span struct {
+	Name  string
+	Cat   string
+	Proc  int    // process id from Tracer.RegisterProcess
+	Track string // track (thread) name within the process
+	Req   int64  // request id, 0 if not request-scoped
+	Start float64
+	Dur   float64
+	Args  []Arg
+
+	seq uint64 // per-shard emission order; sort tiebreak only
+}
+
+// argString renders the args deterministically for canonical ordering.
+func (sp *Span) argString() string {
+	if len(sp.Args) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, a := range sp.Args {
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(formatArg(a.Val))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func formatArg(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case int:
+		return strconv.Itoa(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// defaultShardCap bounds each shard's ring buffer. At roughly six spans
+// per request this holds ~10k requests per shard; overflow drops the
+// newest span and counts it, so a saturated trace is truncated, never
+// reordered or silently wrong.
+const defaultShardCap = 1 << 16
+
+// Tracer collects spans from many goroutines. Each emitting goroutine
+// asks for its own Shard once and appends locally; the Tracer merges
+// shards into one canonical, deterministic order on query or export.
+//
+// The zero Tracer is not usable; call NewTracer.
+type Tracer struct {
+	mu       sync.Mutex
+	procs    []string
+	shards   []*Shard
+	shardCap int
+}
+
+// NewTracer returns an empty tracer with the default per-shard
+// capacity.
+func NewTracer() *Tracer {
+	return &Tracer{shardCap: defaultShardCap}
+}
+
+// RegisterProcess names a Perfetto process (a server, a fleet router)
+// and returns its 1-based pid. Registration order is the pid order, so
+// callers that construct processes deterministically get deterministic
+// pids.
+func (t *Tracer) RegisterProcess(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs = append(t.procs, name)
+	return len(t.procs)
+}
+
+// NewShard returns a fresh span buffer owned by one emitting goroutine
+// (or one low-rate shared emitter). Shards are never removed; Close is
+// not needed.
+func (t *Tracer) NewShard() *Shard {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sh := &Shard{cap: t.shardCap}
+	t.shards = append(t.shards, sh)
+	return sh
+}
+
+// Shard is a bounded span buffer with its own lock. The lock is
+// uncontended when a single goroutine owns the shard, which is the
+// serving stack's arrangement (one shard per worker, one for the
+// scheduler, one for compiles).
+type Shard struct {
+	mu      sync.Mutex
+	cap     int
+	spans   []Span
+	seq     uint64
+	dropped int64
+}
+
+// Emit records one span. When the shard is full the span is dropped
+// and counted; see Tracer.Dropped.
+func (sh *Shard) Emit(sp Span) {
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.spans) >= sh.cap {
+		sh.dropped++
+		return
+	}
+	sh.seq++
+	sp.seq = sh.seq
+	sh.spans = append(sh.spans, sp)
+}
+
+// Dropped reports how many spans were discarded because a shard's ring
+// filled up.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	shards := append([]*Shard(nil), t.shards...)
+	t.mu.Unlock()
+	var n int64
+	for _, sh := range shards {
+		sh.mu.Lock()
+		n += sh.dropped
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len reports the number of collected spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	shards := append([]*Shard(nil), t.shards...)
+	t.mu.Unlock()
+	n := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+		n += len(sh.spans)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Spans returns every collected span in canonical order: by start
+// time, then process, track, request, name, duration, and rendered
+// args. The order depends only on span *content*, so any schedule that
+// produces the same spans produces the same sequence (and therefore
+// the same exported bytes).
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	shards := append([]*Shard(nil), t.shards...)
+	t.mu.Unlock()
+	var out []Span
+	for _, sh := range shards {
+		sh.mu.Lock()
+		out = append(out, sh.spans...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Track != b.Track {
+			return a.Track < b.Track
+		}
+		if a.Req != b.Req {
+			return a.Req < b.Req
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Dur != b.Dur {
+			return a.Dur < b.Dur
+		}
+		as, bs := a.argString(), b.argString()
+		if as != bs {
+			return as < bs
+		}
+		return a.seq < b.seq
+	})
+	return out
+}
+
+// ByKind returns the spans with the given name, in canonical order.
+func (t *Tracer) ByKind(name string) []Span {
+	var out []Span
+	for _, sp := range t.Spans() {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// ByRequest returns the spans of one request on one process, in
+// canonical order. The KindRequest span is the root; the others are
+// its children.
+func (t *Tracer) ByRequest(proc int, req int64) []Span {
+	var out []Span
+	for _, sp := range t.Spans() {
+		if sp.Proc == proc && sp.Req == req {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Processes returns the registered process names indexed by pid-1.
+func (t *Tracer) Processes() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.procs...)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func emitSample(t *Tracer) {
+	pid := t.RegisterProcess("server")
+	sched := t.NewShard()
+	w0 := t.NewShard()
+	w1 := t.NewShard()
+	var wg sync.WaitGroup
+	emit := func(sh *Shard, spans []Span) {
+		defer wg.Done()
+		for _, sp := range spans {
+			sp.Proc = pid
+			sh.Emit(sp)
+		}
+	}
+	wg.Add(3)
+	go emit(sched, []Span{
+		{Name: KindPlan, Cat: CatBatch, Track: "scheduler", Start: 0, Args: []Arg{{"bucket", 4}}},
+		{Name: KindDispatch, Cat: CatBatch, Track: "scheduler", Start: 0, Args: []Arg{{"worker", 0}}},
+		{Name: KindPlan, Cat: CatBatch, Track: "scheduler", Start: 1e-3, Args: []Arg{{"bucket", 2}}},
+	})
+	go emit(w0, []Span{
+		{Name: KindExecute, Cat: CatBatch, Track: "worker 0", Start: 0, Dur: 2e-3},
+		{Name: KindRequest, Cat: CatRequest, Track: "req 1", Req: 1, Start: 0, Dur: 2e-3},
+	})
+	go emit(w1, []Span{
+		{Name: KindExecute, Cat: CatBatch, Track: "worker 1", Start: 1e-3, Dur: 2e-3},
+		{Name: KindCompile, Cat: CatCompile, Track: "compile", Dur: 5e-2, Args: []Arg{{"kind", "cold"}}},
+	})
+	wg.Wait()
+}
+
+func TestTracerCanonicalOrderDeterministic(t *testing.T) {
+	export := func() []byte {
+		tr := NewTracer()
+		emitSample(tr)
+		return tr.ExportJSON()
+	}
+	a := export()
+	for i := 0; i < 10; i++ {
+		if b := export(); !bytes.Equal(a, b) {
+			t.Fatalf("export differs across identical runs:\n%s\nvs\n%s", a, b)
+		}
+	}
+}
+
+func TestTracerQueryAPI(t *testing.T) {
+	tr := NewTracer()
+	emitSample(tr)
+	if got := tr.Len(); got != 7 {
+		t.Fatalf("Len = %d, want 7", got)
+	}
+	if got := len(tr.ByKind(KindPlan)); got != 2 {
+		t.Fatalf("ByKind(plan) = %d spans, want 2", got)
+	}
+	reqs := tr.ByRequest(1, 1)
+	if len(reqs) != 1 || reqs[0].Name != KindRequest {
+		t.Fatalf("ByRequest = %+v, want one request span", reqs)
+	}
+	spans := tr.Spans()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatalf("spans not sorted by start: %v after %v", spans[i].Start, spans[i-1].Start)
+		}
+	}
+}
+
+func TestTracerShardCapacityDrops(t *testing.T) {
+	tr := NewTracer()
+	tr.shardCap = 4
+	sh := tr.NewShard()
+	for i := 0; i < 10; i++ {
+		sh.Emit(Span{Name: KindExecute, Start: float64(i)})
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("Len = %d, want cap 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+}
+
+// TestTracerExportSchema validates the Chrome trace-event JSON shape
+// that Perfetto expects: a traceEvents array of M metadata and X
+// complete events with pid/tid/ts, compile tracks laid out
+// sequentially.
+func TestTracerExportSchema(t *testing.T) {
+	tr := NewTracer()
+	emitSample(tr)
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(tr.ExportJSON(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.Unit)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			meta++
+			if ev["name"] != "process_name" && ev["name"] != "thread_name" {
+				t.Fatalf("unexpected metadata event %v", ev)
+			}
+		case "X":
+			complete++
+			for _, k := range []string{"name", "ts", "dur", "pid", "tid"} {
+				if _, ok := ev[k]; !ok {
+					t.Fatalf("complete event missing %q: %v", k, ev)
+				}
+			}
+			if ts := ev["ts"].(float64); ts < 0 {
+				t.Fatalf("negative ts: %v", ev)
+			}
+			if dur := ev["dur"].(float64); dur < 0 {
+				t.Fatalf("negative dur: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ph)
+		}
+	}
+	if meta == 0 || complete != 7 {
+		t.Fatalf("got %d metadata and %d complete events, want >0 and 7", meta, complete)
+	}
+}

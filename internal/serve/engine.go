@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 	"bolt/internal/rt"
 	"bolt/internal/tensor"
 )
@@ -75,6 +76,12 @@ type Options struct {
 	// marginal-gain batch formation (see
 	// DeployOptions.ContinuousBatching).
 	ContinuousBatching bool
+	// Trace, when set, records request-lifecycle spans into the tracer
+	// (see ServerOptions.Trace).
+	Trace *obs.Tracer
+	// TraceLabel names the engine's process in the exported trace
+	// (see ServerOptions.TraceLabel).
+	TraceLabel string
 }
 
 // normalized delegates to the server/deploy normalization so the
@@ -112,6 +119,15 @@ type Result struct {
 	// zero) this is simply the completion time, matching the
 	// pre-arrival-process semantics.
 	SimLatency float64
+	// QueueWait is the simulated time from the request's arrival to its
+	// batch's execution start — batch-formation wait plus worker-queue
+	// wait. Set on success only, like SimLatency.
+	QueueWait float64
+	// ExecuteSeconds is the simulated time the request's batch spent
+	// executing (injected stalls included). The decomposition is exact:
+	// QueueWait + ExecuteSeconds == SimLatency bit-for-bit, so callers
+	// can attribute a request's time without parsing stats.
+	ExecuteSeconds float64
 }
 
 // EngineModel is the tenant name single-model compatibility wrappers
@@ -135,6 +151,8 @@ func New(compile CompileVariant, opts Options) (*Engine, error) {
 		Workers:     opts.Workers,
 		QueueDepth:  opts.QueueDepth,
 		BatchWindow: opts.BatchWindow,
+		Trace:       opts.Trace,
+		TraceLabel:  opts.TraceLabel,
 	})
 	if err := srv.Deploy(EngineModel, compile, DeployOptions{
 		Buckets:            opts.Buckets,

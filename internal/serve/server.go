@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 	"bolt/internal/rt"
 	"bolt/internal/tensor"
 )
@@ -62,6 +65,18 @@ type ServerOptions struct {
 	// wrapper persists the shared tuning log here, so closing through
 	// any view — Server or a compatibility Engine — flushes it).
 	OnClose func()
+	// Trace, when set, records request-lifecycle spans (plan, compile,
+	// dispatch, execute, per-request trees) into the tracer on the
+	// simulated clock. Spans never touch the sim clocks or the
+	// scheduler's decisions, so a traced run serves bit-identical
+	// results and stats to an untraced one. Nil disables span
+	// collection entirely; the per-stage latency accounting behind
+	// Stats.Stages and Snapshot is always on (it rides the existing
+	// stats lock).
+	Trace *obs.Tracer
+	// TraceLabel names this server's process in the exported trace
+	// ("server" when empty). The fleet layer labels each replica here.
+	TraceLabel string
 }
 
 func (o ServerOptions) normalized() ServerOptions {
@@ -158,6 +173,7 @@ type InferOptions struct {
 // request is one queued inference request.
 type request struct {
 	t          *tenant
+	id         int64 // server-assigned, in InferAsync acceptance order
 	inputs     map[string]*tensor.Tensor
 	resp       chan Result
 	priority   Priority
@@ -211,6 +227,42 @@ type tenantStats struct {
 	simMakespan   float64
 	lat           latWindow
 	priLat        [numPriorities]latWindow
+	// stages accumulates the per-priority stage-latency decomposition
+	// over the tenant's lifetime (unbounded sums, unlike the latency
+	// windows above).
+	stages [numPriorities]StageBreakdown
+	// stageHist are the per-stage latency histograms behind
+	// Server.Snapshot (aggregated over priorities); latHist are the
+	// per-priority end-to-end histograms.
+	stageHist [numStages]*obs.Histogram
+	latHist   [numPriorities]*obs.Histogram
+}
+
+// newTenantStats returns a zeroed accumulator with its maps and
+// histograms allocated.
+func newTenantStats() tenantStats {
+	ts := tenantStats{batchSizes: make(map[int]int64)}
+	for i := range ts.stageHist {
+		ts.stageHist[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
+	}
+	for i := range ts.latHist {
+		ts.latHist[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
+	}
+	return ts
+}
+
+// observeStages records one successful request's exact stage
+// decomposition (f+q+e already sums bit-exactly to lat; deliver is 0
+// on the sim clock).
+func (ts *tenantStats) observeStages(pri Priority, f, q, e, lat float64) {
+	ts.stages[pri].Add(StageBreakdown{
+		Count: 1, FormationWait: f, QueueWait: q, Execute: e, Latency: lat,
+	})
+	ts.stageHist[stageFormation].Observe(f)
+	ts.stageHist[stageQueue].Observe(q)
+	ts.stageHist[stageExecute].Observe(e)
+	ts.stageHist[stageDeliver].Observe(0)
+	ts.latHist[pri].Observe(lat)
 }
 
 // merge folds another model's counters into this accumulator (latency
@@ -233,6 +285,27 @@ func (ts *tenantStats) merge(o *tenantStats) {
 			ts.priLat[pri].add(v)
 		}
 	}
+	for pri := range o.stages {
+		ts.stages[pri].Add(o.stages[pri])
+	}
+	for i := range o.stageHist {
+		ts.stageHist[i].Merge(o.stageHist[i])
+	}
+	for i := range o.latHist {
+		ts.latHist[i].Merge(o.latHist[i])
+	}
+}
+
+// stagesSnapshot builds the exported per-priority breakdown map (only
+// classes with traffic appear).
+func (ts *tenantStats) stagesSnapshot() map[Priority]StageBreakdown {
+	out := make(map[Priority]StageBreakdown)
+	for _, pri := range priorityOrder {
+		if ts.stages[pri].Count > 0 {
+			out[pri] = ts.stages[pri]
+		}
+	}
+	return out
 }
 
 // tenant is one deployed model: its compiler, buckets, batching
@@ -328,6 +401,19 @@ type Server struct {
 	// s.mu, so the backlog probe can read the EFT model from any
 	// goroutine without racing the scheduler.
 	schedModel []float64
+	// nextReq assigns request ids in InferAsync acceptance order
+	// (guarded by s.mu), correlating a request's spans across the
+	// scheduler, worker, and fleet layers.
+	nextReq int64
+
+	// Tracing (nil/empty when ServerOptions.Trace is unset). Each
+	// emitting goroutine owns its shard: the scheduler, each worker,
+	// and one mutex-shared shard for compile goroutines.
+	tr        *obs.Tracer
+	trProc    int
+	trSched   *obs.Shard
+	trCompile *obs.Shard
+	trWork    []*obs.Shard
 }
 
 // NewServer starts a multi-tenant server: one scheduler plus
@@ -343,7 +429,7 @@ func NewServer(opts ServerOptions) *Server {
 		done:          make(chan struct{}),
 		compileSem:    make(chan struct{}, opts.CompileJobs),
 		tenants:       make(map[string]*tenant),
-		retired:       tenantStats{batchSizes: make(map[int]int64)},
+		retired:       newTenantStats(),
 		workerCh:      make([]chan batchJob, opts.Workers),
 		clocks:        make([]float64, opts.Workers),
 		workerBusy:    make([]float64, opts.Workers),
@@ -351,6 +437,20 @@ func NewServer(opts ServerOptions) *Server {
 		workerPadded:  make([]int64, opts.Workers),
 		workerFailed:  make([]int64, opts.Workers),
 		schedModel:    make([]float64, opts.Workers),
+	}
+	if opts.Trace != nil {
+		label := opts.TraceLabel
+		if label == "" {
+			label = "server"
+		}
+		s.tr = opts.Trace
+		s.trProc = s.tr.RegisterProcess(label)
+		s.trSched = s.tr.NewShard()
+		s.trCompile = s.tr.NewShard()
+		s.trWork = make([]*obs.Shard, opts.Workers)
+		for i := range s.trWork {
+			s.trWork[i] = s.tr.NewShard()
+		}
 	}
 	for i := range s.workerCh {
 		s.workerCh[i] = make(chan batchJob, 4)
@@ -413,7 +513,7 @@ func (s *Server) DeployOn(name string, compile CompileVariantOn, opts DeployOpti
 		continuous:      opts.ContinuousBatching,
 		variants:        make(map[vkey]*variant),
 		costs:           make(map[vkey]float64),
-		stats:           tenantStats{batchSizes: make(map[int]int64)},
+		stats:           newTenantStats(),
 	}
 	s.nextOrder++
 	s.tenants[name] = t
@@ -508,6 +608,8 @@ func (s *Server) InferAsync(model string, inputs map[string]*tensor.Tensor, opts
 	s.inflight.Add(1)
 	t.stats.requests++
 	t.accepted++
+	s.nextReq++
+	id := s.nextReq
 	wait := opts.MaxWait
 	if opts.Priority == PriorityHigh {
 		wait = 0 // high ignores MaxWait: it dispatches immediately
@@ -525,6 +627,7 @@ func (s *Server) InferAsync(model string, inputs map[string]*tensor.Tensor, opts
 	}
 	r := &request{
 		t:          t,
+		id:         id,
 		inputs:     inputs,
 		resp:       make(chan Result, 1),
 		priority:   opts.Priority,
@@ -624,6 +727,7 @@ func (s *Server) Stats() Stats {
 		BatchSizes:        make(map[int]int64),
 		Latencies:         s.retired.lat.snapshot(),
 		PriorityLatencies: make(map[Priority][]float64),
+		Stages:            s.retired.stagesSnapshot(),
 	}
 	for k, v := range s.retired.batchSizes {
 		agg.BatchSizes[k] = v
@@ -653,6 +757,11 @@ func (s *Server) Stats() Stats {
 		for _, pri := range priorityOrder {
 			if w := t.stats.priLat[pri].samples; len(w) > 0 {
 				agg.PriorityLatencies[pri] = append(agg.PriorityLatencies[pri], w...)
+			}
+			if b := t.stats.stages[pri]; b.Count > 0 {
+				merged := agg.Stages[pri]
+				merged.Add(b)
+				agg.Stages[pri] = merged
 			}
 		}
 	}
@@ -736,6 +845,7 @@ func (t *tenant) snapshotLocked() Stats {
 		SimMakespan:       t.stats.simMakespan,
 		Latencies:         t.stats.lat.snapshot(),
 		PriorityLatencies: make(map[Priority][]float64),
+		Stages:            t.stats.stagesSnapshot(),
 	}
 	for k, v := range t.stats.batchSizes {
 		st.BatchSizes[k] = v
@@ -902,7 +1012,42 @@ func (s *Server) dispatch(job *batchJob) {
 		s.schedModel[pl.worker] = pl.finish
 		s.mu.Unlock()
 	}
+	if s.tr != nil {
+		var eft strings.Builder
+		for c, cost := range costs {
+			if c > 0 {
+				eft.WriteByte(',')
+			}
+			eft.WriteString(className(s.pool.classes[c].name))
+			eft.WriteByte('=')
+			eft.WriteString(strconv.FormatFloat(cost, 'g', -1, 64))
+		}
+		args := []obs.Arg{
+			{Key: "model", Val: job.t.name},
+			{Key: "bucket", Val: job.bucket},
+			{Key: "rows", Val: len(job.reqs)},
+			{Key: "worker", Val: pl.worker},
+			{Key: "class", Val: className(s.pool.classes[pl.class].name)},
+			{Key: "eft_costs", Val: eft.String()},
+		}
+		if !math.IsInf(pl.finish, 1) {
+			args = append(args, obs.Arg{Key: "finish", Val: pl.finish})
+		}
+		s.trSched.Emit(obs.Span{
+			Name: obs.KindDispatch, Cat: obs.CatBatch, Proc: s.trProc,
+			Track: "scheduler", Start: job.arrival, Args: args,
+		})
+	}
 	s.workerCh[pl.worker] <- *job
+}
+
+// className names a device class in trace spans and snapshots
+// ("default" for the anonymous homogeneous class).
+func className(name string) string {
+	if name == "" {
+		return "default"
+	}
+	return name
 }
 
 // bucketPricedLocked reports whether every device class has a resolved
@@ -1155,18 +1300,57 @@ func (s *Server) nextJob(now time.Time) *batchJob {
 		return nil
 	}
 	t := pickWRR(ready)
+	pending := t.pending
 	var plan dispatchPlan
+	var pt planTrace
 	if t.adaptive() {
-		plan = s.planAdaptiveLocked(t, now)
+		plan, pt = s.planAdaptiveLocked(t, now)
 	} else {
 		k := bucketFor(t.buckets, t.pending)
 		plan = dispatchPlan{take: k, bucket: k}
+		pt = planTrace{mode: "strict"}
 	}
 	reqs := takeBatch(t, plan.take, now)
 	t.pending -= len(reqs)
 	t.accepted -= len(reqs)
 	s.pendingTotal -= len(reqs)
+	if s.tr != nil {
+		arr := 0.0
+		for _, r := range reqs {
+			if r.simArrival > arr {
+				arr = r.simArrival
+			}
+		}
+		args := []obs.Arg{
+			{Key: "model", Val: t.name},
+			{Key: "mode", Val: pt.mode},
+			{Key: "pending", Val: pending},
+			{Key: "take", Val: len(reqs)},
+			{Key: "bucket", Val: plan.bucket},
+			{Key: "padded", Val: plan.bucket > len(reqs)},
+		}
+		if !math.IsInf(pt.strictFinish, 1) && pt.strictFinish > 0 {
+			args = append(args, obs.Arg{Key: "strict_finish", Val: pt.strictFinish})
+		}
+		if !math.IsInf(pt.padFinish, 1) && pt.padFinish > 0 {
+			args = append(args, obs.Arg{Key: "padded_finish", Val: pt.padFinish})
+		}
+		s.trSched.Emit(obs.Span{
+			Name: obs.KindPlan, Cat: obs.CatBatch, Proc: s.trProc,
+			Track: "scheduler", Start: arr, Args: args,
+		})
+	}
 	return &batchJob{t: t, reqs: reqs, bucket: plan.bucket}
+}
+
+// planTrace carries the planner's modeled alternatives out to the plan
+// span: which formation mode ran and, when the padded planner priced
+// both schedules, the strict chain's and the best padded rung's
+// modeled finish times.
+type planTrace struct {
+	mode         string
+	strictFinish float64
+	padFinish    float64
 }
 
 // dispatchPlan is one sizing decision: take rows off the queue, run
@@ -1181,17 +1365,24 @@ type dispatchPlan struct {
 // bucket ladder is priced). Continuous formation first decides how many
 // visible rows to coalesce; the bucket decision then prices running
 // them padded on a larger rung against draining them as a strict chain.
-func (s *Server) planAdaptiveLocked(t *tenant, now time.Time) dispatchPlan {
+func (s *Server) planAdaptiveLocked(t *tenant, now time.Time) (dispatchPlan, planTrace) {
 	t.planRuns++
 	n := t.pending
 	if m := t.maxBucket(); n > m {
 		n = m
 	}
 	vis := dispatchOrderLocked(t, n, now)
+	mode := "padded"
 	if t.continuous {
 		vis = vis[:s.formBatchLocked(t, vis)]
+		mode = "continuous"
+		if t.pad {
+			mode = "continuous+padded"
+		}
 	}
-	return s.chooseBucketLocked(t, vis)
+	plan, pt := s.chooseBucketLocked(t, vis)
+	pt.mode = mode
+	return plan, pt
 }
 
 // dispatchOrderLocked returns up to limit queued requests in exactly
@@ -1270,12 +1461,12 @@ func (s *Server) formBatchLocked(t *tenant, vis []*request) int {
 // draining the rows as a greedy chain of exact buckets. Padding wins
 // only on a strictly earlier modeled completion — ties keep the strict
 // plan, so the padded path never changes a cost-neutral schedule.
-func (s *Server) chooseBucketLocked(t *tenant, vis []*request) dispatchPlan {
+func (s *Server) chooseBucketLocked(t *tenant, vis []*request) (dispatchPlan, planTrace) {
 	n := len(vis)
 	k := bucketFor(t.buckets, n)
 	strict := dispatchPlan{take: k, bucket: k}
 	if !t.pad {
-		return strict
+		return strict, planTrace{}
 	}
 	arr := 0.0
 	for _, r := range vis {
@@ -1292,10 +1483,19 @@ func (s *Server) chooseBucketLocked(t *tenant, vis []*request) dispatchPlan {
 			padBucket, padFinish = b, fin
 		}
 	}
-	if padBucket == 0 || !(padFinish < s.chainFinishLocked(t, vis)) {
-		return strict
+	if padBucket == 0 && s.tr == nil {
+		return strict, planTrace{padFinish: padFinish}
 	}
-	return dispatchPlan{take: n, bucket: padBucket}
+	// The strict chain is the decision input when a padded rung exists;
+	// with tracing on it is priced regardless, so the plan span always
+	// carries both modeled alternatives (previewing on a scratch copy
+	// of sched is side-effect-free — the decision is unchanged).
+	chain := s.chainFinishLocked(t, vis)
+	pt := planTrace{strictFinish: chain, padFinish: padFinish}
+	if padBucket == 0 || !(padFinish < chain) {
+		return strict, pt
+	}
+	return dispatchPlan{take: n, bucket: padBucket}, pt
 }
 
 // chainFinishLocked prices the strict counterfactual for a set of rows:
@@ -1496,6 +1696,44 @@ func (s *Server) variantFor(t *tenant, class, batch int) *variant {
 			s.evictLocked(t, class, v)
 		}
 		s.mu.Unlock()
+		if s.tr != nil {
+			args := []obs.Arg{
+				{Key: "model", Val: t.name},
+				{Key: "device", Val: className(s.pool.classes[class].name)},
+				{Key: "bucket", Val: batch},
+			}
+			dur := 0.0
+			if err != nil {
+				args = append(args, obs.Arg{Key: "kind", Val: "error"})
+			} else {
+				// cold: the tuner measured candidates; predicted: the
+				// cost model resolved workloads measurement-free; warm:
+				// every workload came from the shared tuning log.
+				tu := mod.Tuning
+				kind := "warm"
+				switch {
+				case tu.Measurements > 0:
+					kind = "cold"
+				case tu.PredictedWorkloads > 0:
+					kind = "predicted"
+				}
+				dur = tu.TuningSeconds
+				args = append(args,
+					obs.Arg{Key: "kind", Val: kind},
+					obs.Arg{Key: "measurements", Val: tu.Measurements},
+					obs.Arg{Key: "cache_hits", Val: tu.CacheHits},
+					obs.Arg{Key: "predicted_workloads", Val: tu.PredictedWorkloads},
+					obs.Arg{Key: "modeled_batch_seconds", Val: tm},
+				)
+			}
+			// Compile spans live off the serving clock (tuning happens
+			// before traffic is timed); Start is 0 and the exporter lays
+			// the compile track out sequentially.
+			s.trCompile.Emit(obs.Span{
+				Name: obs.KindCompile, Cat: obs.CatCompile, Proc: s.trProc,
+				Track: "compile", Dur: dur, Args: args,
+			})
+		}
 	})
 	return v
 }
@@ -1565,12 +1803,12 @@ func (s *Server) runBatch(id int, job batchJob) {
 	// lead the clock forever and bias every later placement away from
 	// this worker). Only unpriceable batches (never committed) leave
 	// the clock untouched.
+	execStart := s.clocks[id]
 	if job.priced {
-		start := s.clocks[id]
-		if job.arrival > start {
-			start = job.arrival
+		if job.arrival > execStart {
+			execStart = job.arrival
 		}
-		s.clocks[id] = start + job.cost
+		s.clocks[id] = execStart + job.cost
 		s.workerBusy[id] += job.cost
 	}
 	if fault.StallSimSeconds > 0 {
@@ -1605,13 +1843,37 @@ func (s *Server) runBatch(id int, job batchJob) {
 	if doneAt > st.simMakespan {
 		st.simMakespan = doneAt
 	}
+	// Per-request stage decomposition: formation (batch arrival −
+	// request arrival), queue (execution start − batch arrival), and
+	// execute (completion − start, stalls included), nudged so the
+	// three sum bit-exactly to the request's SimLatency.
+	stages := make([][3]float64, n)
 	if err == nil {
-		for _, r := range job.reqs {
-			st.lat.add(doneAt - r.simArrival)
-			st.priLat[r.priority].add(doneAt - r.simArrival)
+		for i, r := range job.reqs {
+			lat := doneAt - r.simArrival
+			st.lat.add(lat)
+			st.priLat[r.priority].add(lat)
+			f, q, e := splitStages(lat, job.arrival-r.simArrival, execStart-job.arrival)
+			stages[i] = [3]float64{f, q, e}
+			st.observeStages(r.priority, f, q, e, lat)
 		}
 	}
 	s.mu.Unlock()
+	if s.tr != nil {
+		s.trWork[id].Emit(obs.Span{
+			Name: obs.KindExecute, Cat: obs.CatBatch, Proc: s.trProc,
+			Track: "worker " + strconv.Itoa(id),
+			Start: execStart, Dur: doneAt - execStart,
+			Args: []obs.Arg{
+				{Key: "model", Val: job.t.name},
+				{Key: "bucket", Val: b},
+				{Key: "rows", Val: n},
+				{Key: "padded_rows", Val: b - n},
+				{Key: "device", Val: className(device)},
+				{Key: "failed", Val: err != nil},
+			},
+		})
+	}
 	for i, r := range job.reqs {
 		res := Result{
 			Err:        err,
@@ -1625,9 +1887,76 @@ func (s *Server) runBatch(id int, job batchJob) {
 		if err == nil {
 			res.Output = outs[i]
 			res.SimLatency = doneAt - r.simArrival
+			f, q, e := stages[i][0], stages[i][1], stages[i][2]
+			// QueueWait + ExecuteSeconds reproduces SimLatency
+			// bit-exactly: splitStages guarantees (f+q)+e == lat.
+			res.QueueWait = f + q
+			res.ExecuteSeconds = e
+			if s.tr != nil {
+				s.emitRequestSpans(id, r, res, f, q, e)
+			}
+		} else if s.tr != nil {
+			s.trWork[id].Emit(obs.Span{
+				Name: obs.KindRequest, Cat: obs.CatRequest, Proc: s.trProc,
+				Track: reqTrack(r.id), Req: r.id,
+				Start: r.simArrival, Dur: doneAt - r.simArrival,
+				Args: []obs.Arg{
+					{Key: "model", Val: job.t.name},
+					{Key: "priority", Val: r.priority.String()},
+					{Key: "failed", Val: true},
+				},
+			})
 		}
 		s.respond(r, res)
 	}
+}
+
+// reqTrack names a request's Perfetto track.
+func reqTrack(id int64) string { return "req " + strconv.FormatInt(id, 10) }
+
+// emitRequestSpans records one delivered request's lifecycle tree: a
+// root request span covering arrival → delivery with enqueue /
+// dispatch-wait / execute / deliver children tiling it. The children's
+// durations are the exact stage decomposition, so their sum equals the
+// root's duration bit-for-bit.
+func (s *Server) emitRequestSpans(worker int, r *request, res Result, f, q, e float64) {
+	sh := s.trWork[worker]
+	track := reqTrack(r.id)
+	sh.Emit(obs.Span{
+		Name: obs.KindRequest, Cat: obs.CatRequest, Proc: s.trProc,
+		Track: track, Req: r.id,
+		Start: r.simArrival, Dur: res.SimLatency,
+		Args: []obs.Arg{
+			{Key: "model", Val: res.Model},
+			{Key: "priority", Val: r.priority.String()},
+			{Key: "bucket", Val: res.Batch},
+			{Key: "worker", Val: res.Worker},
+			{Key: "device", Val: className(res.Device)},
+		},
+	})
+	t0 := r.simArrival
+	t1 := t0 + f
+	t2 := t1 + q
+	sh.Emit(obs.Span{
+		Name: obs.KindEnqueue, Cat: obs.CatRequest, Proc: s.trProc,
+		Track: track, Req: r.id, Start: t0, Dur: f,
+		Args: []obs.Arg{{Key: "stage", Val: stageNames[stageFormation]}},
+	})
+	sh.Emit(obs.Span{
+		Name: obs.KindDispatch, Cat: obs.CatRequest, Proc: s.trProc,
+		Track: track, Req: r.id, Start: t1, Dur: q,
+		Args: []obs.Arg{{Key: "stage", Val: stageNames[stageQueue]}},
+	})
+	sh.Emit(obs.Span{
+		Name: obs.KindExecute, Cat: obs.CatRequest, Proc: s.trProc,
+		Track: track, Req: r.id, Start: t2, Dur: e,
+		Args: []obs.Arg{{Key: "stage", Val: stageNames[stageExecute]}},
+	})
+	sh.Emit(obs.Span{
+		Name: obs.KindDeliver, Cat: obs.CatRequest, Proc: s.trProc,
+		Track: track, Req: r.id, Start: t2 + e, Dur: 0,
+		Args: []obs.Arg{{Key: "stage", Val: stageNames[stageDeliver]}},
+	})
 }
 
 // execBatch stacks the requests' inputs into batch tensors (zero-padded

@@ -1,8 +1,9 @@
 package serve
 
 import (
-	"math"
 	"sort"
+
+	"bolt/internal/obs"
 )
 
 // Priority classifies a request for the scheduler. Priorities shape
@@ -129,11 +130,109 @@ type Stats struct {
 	// PriorityLatencies holds the same bounded windows split by request
 	// priority (for per-priority percentiles).
 	PriorityLatencies map[Priority][]float64
+	// Stages is the per-priority stage-latency breakdown (only
+	// priorities that served traffic appear). Unlike the bounded
+	// latency windows above, the breakdown accumulates over the
+	// server's whole lifetime, backed by the same histograms
+	// Server.Snapshot exposes.
+	Stages map[Priority]StageBreakdown
 }
 
 // latencyWindow bounds the retained per-request latency samples (per
 // model and per priority class).
 const latencyWindow = 4096
+
+// Stage indices of the per-request latency decomposition. Every
+// successful request's end-to-end latency splits into exactly these
+// four stages (see splitStages): the wait for its batch to form, the
+// wait for a worker, the batch execution (including injected stalls),
+// and delivery (instantaneous on the sim clock — results are handed
+// back the moment the batch finishes).
+const (
+	stageFormation = iota
+	stageQueue
+	stageExecute
+	stageDeliver
+	numStages
+)
+
+// stageNames label the stages in Snapshot expositions and trace spans.
+var stageNames = [numStages]string{"formation_wait", "queue_wait", "execute", "deliver"}
+
+// StageBreakdown is one priority class's accumulated stage-latency
+// decomposition. Each successful request contributes stage durations
+// that sum bit-exactly to its SimLatency (FormationWait + QueueWait +
+// Execute + Deliver == SimLatency per request, in that evaluation
+// order); the accumulated sums here equal the accumulated Latency up
+// to float summation order across requests.
+type StageBreakdown struct {
+	// Count is the number of successful requests observed.
+	Count int64
+	// FormationWait is the summed simulated time requests spent waiting
+	// for their batch to finish forming (batch arrival − request
+	// arrival).
+	FormationWait float64
+	// QueueWait is the summed simulated time formed batches waited for
+	// their worker (execution start − batch arrival).
+	QueueWait float64
+	// Execute is the summed simulated execution time, including
+	// injected stalls.
+	Execute float64
+	// Deliver is the summed delivery time (0 on the sim clock).
+	Deliver float64
+	// Latency is the summed end-to-end SimLatency of the same requests.
+	Latency float64
+}
+
+// Add folds another breakdown into this one (the fleet layer uses it
+// to aggregate replica breakdowns).
+func (b *StageBreakdown) Add(o StageBreakdown) {
+	b.Count += o.Count
+	b.FormationWait += o.FormationWait
+	b.QueueWait += o.QueueWait
+	b.Execute += o.Execute
+	b.Deliver += o.Deliver
+	b.Latency += o.Latency
+}
+
+// splitStages decomposes one request's end-to-end latency into
+// formation / queue / execute stage durations whose float64 sum
+// ((f+q)+e) reproduces lat bit-exactly. The raw inputs already sum to
+// lat in exact arithmetic (lat = doneAt − arrival, formation = batch
+// arrival − arrival, queue = start − batch arrival, execute = doneAt −
+// start), but each subtraction rounds independently, so the execute
+// term — the largest — absorbs the rounding residue; the loop
+// converges in one or two steps and cascades to the other terms only
+// in the degenerate all-zero cases.
+func splitStages(lat, formation, queue float64) (f, q, e float64) {
+	f, q = formation, queue
+	if f < 0 {
+		f = 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	e = lat - f - q
+	if e < 0 {
+		e = 0
+	}
+	for i := 0; i < 8; i++ {
+		s := f + q + e
+		if s == lat {
+			break
+		}
+		diff := lat - s
+		switch {
+		case e+diff >= 0:
+			e += diff
+		case q+diff >= 0:
+			q += diff
+		default:
+			f += diff
+		}
+	}
+	return f, q, e
+}
 
 // Throughput returns served requests per simulated second.
 func (s Stats) Throughput() float64 {
@@ -157,22 +256,19 @@ func (s Stats) PriorityPercentile(pri Priority, p float64) float64 {
 }
 
 // percentile implements the nearest-rank percentile over an unordered
-// sample window. p <= 0 returns the minimum, p >= 100 the maximum, and
-// an empty window 0.
+// sample window by delegating to obs.NearestRank — the exact sample
+// quantile. The bench artifacts' p50/p99 fields derive from these
+// bounded windows, so this path stays exact; the histogram-backed
+// estimates (obs.Histogram.Percentile) serve the unbounded per-stage
+// breakdowns in Server.Snapshot, with the two tied together by an
+// equivalence test on dense data.
 func percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	i := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
+	return obs.NearestRank(sorted, p)
 }
 
 // latWindow is a bounded ring of latency samples.

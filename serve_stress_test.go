@@ -99,13 +99,24 @@ func TestEngineInferStress(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < perCaller; r++ {
 				i := (c*perCaller + r) % distinct
-				out, err := eng.Infer(inputs[i])
+				ch, err := eng.InferAsync(inputs[i])
 				if err != nil {
 					t.Errorf("caller %d: %v", c, err)
 					return
 				}
-				if d := tensor.MaxAbsDiff(out, oracle[i]); d != 0 {
+				res := <-ch
+				if res.Err != nil {
+					t.Errorf("caller %d: %v", c, res.Err)
+					return
+				}
+				if d := tensor.MaxAbsDiff(res.Output, oracle[i]); d != 0 {
 					t.Errorf("caller %d req %d: diff %g from unbatched oracle", c, r, d)
+					return
+				}
+				// The stage decomposition is exact on every delivered result.
+				if got := res.QueueWait + res.ExecuteSeconds; got != res.SimLatency {
+					t.Errorf("caller %d req %d: QueueWait+ExecuteSeconds = %v != SimLatency %v",
+						c, r, got, res.SimLatency)
 					return
 				}
 			}

@@ -8,6 +8,7 @@ import (
 
 	"bolt/internal/accuracy"
 	"bolt/internal/gpu"
+	"bolt/internal/obs"
 	"bolt/internal/relay"
 	"bolt/internal/rt"
 	"bolt/internal/serve"
@@ -36,7 +37,24 @@ type (
 	// (possibly heterogeneous) pool: busy seconds, batches, utilization
 	// share, and per-device makespan.
 	DeviceStats = serve.DeviceStats
+	// StageBreakdown is one priority class's accumulated stage-latency
+	// decomposition (ServeStats.Stages): formation wait + queue wait +
+	// execute + deliver, summing bit-exactly to latency per request.
+	StageBreakdown = serve.StageBreakdown
+	// Tracer records deterministic request-lifecycle spans from every
+	// endpoint it is handed to (ServerOptions.Trace,
+	// FleetOptions.Trace). Export with ExportJSON — the output is
+	// Chrome trace-event JSON, viewable in Perfetto.
+	Tracer = obs.Tracer
+	// TraceSpan is one recorded span (Tracer query APIs).
+	TraceSpan = obs.Span
 )
+
+// NewTracer returns an empty tracer ready to hand to ServerOptions.Trace
+// or FleetOptions.Trace. Tracing never touches the simulated clocks:
+// every benchmark number and stats oracle is bit-identical with and
+// without it.
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // Request priorities. High preempts the batch window, bulk waits for
 // full buckets; neither can starve another model thanks to the
@@ -97,6 +115,13 @@ type ServerOptions struct {
 	// pool's critical path regardless of what runs beside it, and
 	// kernel selection is deterministic for any pool width.
 	Jobs int
+	// Trace, when set, records request-lifecycle spans (enqueue → plan
+	// → compile → dispatch → execute → deliver) into the tracer.
+	// Tracing never touches the simulated clocks.
+	Trace *Tracer
+	// TraceLabel names this server's process in the exported trace
+	// ("server" when empty).
+	TraceLabel string
 }
 
 // Precision selects the compute precision a tenant's variants are
@@ -443,6 +468,8 @@ func NewServer(dev *Device, opts ServerOptions) (*Server, error) {
 		QueueDepth:  opts.QueueDepth,
 		BatchWindow: opts.BatchWindow,
 		CompileJobs: opts.Jobs,
+		Trace:       opts.Trace,
+		TraceLabel:  opts.TraceLabel,
 		// Closing through any view — this Server or a compatibility
 		// Engine — flushes the shared tuning log.
 		OnClose: func() { _ = s.persistCache() },
@@ -519,6 +546,12 @@ func (s *Server) Backlog() float64 { return s.srv.BacklogSeconds() }
 // ModelStats returns one deployed model's serving counters.
 func (s *Server) ModelStats(name string) (ServeStats, bool) { return s.srv.ModelStats(name) }
 
+// Snapshot renders the server's always-on metrics as a deterministic
+// text exposition: request/batch counters, per-worker device rows,
+// per-stage latency histograms, and per-priority breakdowns. Works
+// whether or not tracing is enabled.
+func (s *Server) Snapshot() string { return s.srv.Snapshot() }
+
 // Close rejects new requests, flushes and answers every accepted
 // request, stops the workers, and persists the tuning log (via the
 // underlying server's close hook), returning the outcome of that
@@ -559,6 +592,11 @@ type ServeOptions struct {
 	// ContinuousBatching enables modeled marginal-gain batch formation
 	// (see DeployOptions.ContinuousBatching).
 	ContinuousBatching bool
+	// Trace records request-lifecycle spans (see ServerOptions.Trace).
+	Trace *Tracer
+	// TraceLabel names the engine's trace process (see
+	// ServerOptions.TraceLabel).
+	TraceLabel string
 }
 
 // NewEngine starts a single-model serving engine: a thin wrapper over
@@ -573,6 +611,8 @@ func NewEngine(g *Graph, dev *Device, opts ServeOptions) (*Engine, error) {
 		BatchWindow: opts.BatchWindow,
 		CacheFile:   opts.CacheFile,
 		Jobs:        opts.Jobs,
+		Trace:       opts.Trace,
+		TraceLabel:  opts.TraceLabel,
 	})
 	if err != nil {
 		return nil, err
